@@ -1,0 +1,42 @@
+// Minimal CSV emission for the benchmark harness: every bench binary accepts
+// --csv <path> and appends machine-readable rows next to its human-readable
+// table, the analogue of the artifact's result logs that its Python plotting
+// scripts parse.
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace wasp::bench {
+
+/// Appends rows to a CSV file; writes the header only when the file is new.
+/// A default-constructed / empty-path writer swallows all rows.
+class CsvWriter {
+ public:
+  CsvWriter() = default;
+
+  CsvWriter(const std::string& path, const std::string& header) {
+    if (path.empty()) return;
+    const bool fresh = !std::ifstream(path).good();
+    out_.open(path, std::ios::app);
+    if (fresh && out_) out_ << header << '\n';
+  }
+
+  [[nodiscard]] bool enabled() const { return out_.is_open(); }
+
+  /// row("fig05", "USA", "wasp", 0.0123) -> "fig05,USA,wasp,0.0123"
+  template <typename... Fields>
+  void row(const Fields&... fields) {
+    if (!out_) return;
+    std::ostringstream line;
+    bool first = true;
+    ((line << (first ? "" : ",") << fields, first = false), ...);
+    out_ << line.str() << '\n';
+  }
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace wasp::bench

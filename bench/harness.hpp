@@ -1,0 +1,68 @@
+// Shared benchmark harness: workload construction, trial measurement, delta
+// tuning (the SLOW workflow of the paper's artifact) and per-class default
+// deltas (the FAST workflow), plus fixed-width table printing so each bench
+// binary emits the same rows/series its paper figure reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/suite.hpp"
+#include "sssp/sssp.hpp"
+#include "support/cli.hpp"
+#include "support/thread_team.hpp"
+
+namespace wasp::bench {
+
+/// One measured configuration: best-of-trials wall time plus the stats of
+/// the best run.
+struct Measurement {
+  double best_seconds = 0.0;
+  double median_seconds = 0.0;
+  SsspStats stats;  // from the best trial
+};
+
+/// Runs `trials` repetitions and keeps the best (the GAP methodology).
+Measurement measure(const Graph& g, VertexId source, const SsspOptions& options,
+                    int trials, ThreadTeam& team);
+
+/// Power-of-two delta candidates from 1 up to a heuristic cap derived from
+/// the graph's maximum weight and diameter proxy.
+std::vector<Weight> delta_candidates(const Graph& g);
+
+/// Sweeps `candidates` (or delta_candidates(g) when empty) and returns the
+/// delta with the best wall time for this configuration — task T1 of the
+/// artifact (the SLOW workflow).
+Weight tune_delta(const Graph& g, VertexId source, SsspOptions options,
+                  const std::vector<Weight>& candidates, int trials,
+                  ThreadTeam& team);
+
+/// FAST-workflow defaults: a per-algorithm, per-class delta guess encoding
+/// the paper's Figure 4 structure (Wasp takes delta=1 on skewed graphs,
+/// everything needs coarse deltas on road/kmer graphs).
+Weight default_delta(Algorithm algo, suite::GraphClass cls);
+
+/// True for the classes the paper characterizes as large-diameter/low-degree
+/// (EU, USA, KV and the mesh-like appendix classes).
+bool is_low_degree_class(suite::GraphClass cls);
+
+/// Registers the options every bench binary shares: --scale, --threads,
+/// --trials, --graphs, --full, --tune, --seed.
+void add_common_args(ArgParser& args);
+
+/// Resolves the graph-class list: --graphs "USA,TW" wins; otherwise --full
+/// selects the 13-class main suite, else the reduced core suite.
+std::vector<suite::GraphClass> selected_classes(const ArgParser& args);
+
+/// The seven implementations of the paper's Figure 5 comparison, in row
+/// order: dstar, galois, gap, gbbs, mq, rho, wasp.
+std::vector<Algorithm> figure5_algorithms();
+
+/// Prints a row label padded to a fixed width.
+void print_cell(const std::string& text, int width);
+
+/// "1.23x" / "0.45s"-style formatting.
+std::string format_time_ms(double seconds);
+std::string format_speedup(double x);
+
+}  // namespace wasp::bench

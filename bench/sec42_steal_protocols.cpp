@@ -1,0 +1,96 @@
+// Section 4.2's stealing-protocol comparison: Wasp's priority+NUMA protocol
+// against traditional random-victim stealing and MultiQueue-like two-choice
+// stealing, each with no retries and with up-to-64 retries.
+//
+// Paper numbers (gmean across graphs): random stealing is 50% (no-retry) to
+// 36% (64-retry) slower; two-choice is 39% to 27% slower. We check the
+// ordering: priority < two-choice < random, and retries helping both.
+#include <cstdio>
+#include <vector>
+
+#include "harness.hpp"
+#include "support/stats.hpp"
+
+using namespace wasp;
+
+namespace {
+
+struct Protocol {
+  const char* name;
+  StealPolicy policy;
+  int retries;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args("sec42_steal_protocols",
+                 "section 4.2: steal-protocol comparison");
+  bench::add_common_args(args);
+  args.parse(argc, argv);
+
+  const int threads = static_cast<int>(args.get_int("threads"));
+  const int trials = static_cast<int>(args.get_int("trials"));
+  ThreadTeam team(threads);
+  const auto classes = bench::selected_classes(args);
+
+  const std::vector<Protocol> protocols = {
+      {"priority", StealPolicy::kPriorityNuma, 0},
+      {"rand-0", StealPolicy::kRandom, 0},
+      {"rand-64", StealPolicy::kRandom, 64},
+      {"2choice-0", StealPolicy::kTwoChoice, 0},
+      {"2choice-64", StealPolicy::kTwoChoice, 64},
+  };
+
+  std::printf("Section 4.2: Wasp steal-protocol ablation (threads=%d)\n\n",
+              threads);
+  bench::print_cell("graph", 7);
+  for (const auto& p : protocols) bench::print_cell(p.name, 12);
+  std::printf("\n");
+
+  std::vector<std::vector<double>> times(protocols.size());
+  std::vector<std::vector<double>> work(protocols.size());
+  for (const auto cls : classes) {
+    const auto w = suite::make(cls, args.get_double("scale"),
+                               static_cast<std::uint64_t>(args.get_int("seed")));
+    bench::print_cell(suite::abbr(cls), 7);
+    for (std::size_t p = 0; p < protocols.size(); ++p) {
+      SsspOptions options;
+      options.algo = Algorithm::kWasp;
+      options.threads = threads;
+      options.delta = bench::default_delta(Algorithm::kWasp, cls);
+      options.wasp.steal_policy = protocols[p].policy;
+      options.wasp.steal_retries = protocols[p].retries;
+      const bench::Measurement m =
+          bench::measure(w.graph, w.source, options, trials, team);
+      times[p].push_back(m.best_seconds);
+      work[p].push_back(static_cast<double>(m.stats.relaxations));
+      bench::print_cell(bench::format_time_ms(m.best_seconds), 12);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\ngmean vs the priority protocol (time / relaxations):\n");
+  for (std::size_t p = 1; p < protocols.size(); ++p) {
+    std::vector<double> time_ratio;
+    std::vector<double> work_ratio;
+    for (std::size_t c = 0; c < times[p].size(); ++c) {
+      time_ratio.push_back(times[p][c] / times[0][c]);
+      work_ratio.push_back(work[p][c] / work[0][c]);
+    }
+    std::printf("  %-12s %+5.0f%% time   %+5.0f%% relaxations\n",
+                protocols[p].name, (geometric_mean(time_ratio) - 1.0) * 100.0,
+                (geometric_mean(work_ratio) - 1.0) * 100.0);
+  }
+  std::printf("\nExpectation (paper, 128 HW threads): random +50%%/+36%% "
+              "(0/64 retries), two-choice +39%%/+27%% slower.\n"
+              "On machines with fewer cores than workers the *time* gap "
+              "collapses (steals are rare without true\nparallelism); the "
+              "relaxation inflation is the machine-independent signal of "
+              "indiscriminate stealing.\n");
+  if (hardware_threads() < threads)
+    std::printf("note: %d workers on %d hardware thread(s) — oversubscribed "
+                "run.\n", threads, hardware_threads());
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Section 5.1's tuning-sensitivity claims:
+//
+//  1. "Galois reaches better performance thanks to the additional tuning of
+//     the chunk size ... a difference in speedup of about 30% over the
+//     default chunk size. Conversely, the chunk size does not significantly
+//     impact Wasp's performance, making it easier to tune."
+//     -> sweep OBIM's chunk size and Wasp's (compile-time) chunk capacity.
+//
+//  2. "Selecting delta = 1 for skewed-degree graphs is a safe estimate
+//     resulting in reliably good performance, with at most a 20% performance
+//     loss compared to the optimal delta."
+//     -> compare Wasp at delta=1 against its swept optimum per class.
+#include <cstdio>
+#include <vector>
+
+#include "harness.hpp"
+#include "support/stats.hpp"
+
+using namespace wasp;
+
+int main(int argc, char** argv) {
+  ArgParser args("sec51_sensitivity", "section 5.1 tuning-sensitivity claims");
+  bench::add_common_args(args);
+  args.parse(argc, argv);
+
+  const int threads = static_cast<int>(args.get_int("threads"));
+  const int trials = static_cast<int>(args.get_int("trials"));
+  ThreadTeam team(threads);
+  const auto classes = bench::selected_classes(args);
+
+  // --- chunk-size sweeps ----------------------------------------------------
+  const std::vector<std::uint32_t> sizes = {16, 32, 64, 128, 256};
+  std::printf("Chunk-size sensitivity (threads=%d): max/min time ratio across "
+              "sizes {16..256}\n\n", threads);
+  std::printf("%-7s %-22s %-22s\n", "graph", "galois(spread, best sz)",
+              "wasp(spread, best sz)");
+  for (const auto cls : classes) {
+    const auto w = suite::make(cls, args.get_double("scale"),
+                               static_cast<std::uint64_t>(args.get_int("seed")));
+    double galois_min = 1e100, galois_max = 0, wasp_min = 1e100, wasp_max = 0;
+    std::uint32_t galois_best = 0, wasp_best = 0;
+    for (const auto size : sizes) {
+      SsspOptions o;
+      o.threads = threads;
+      o.algo = Algorithm::kObim;
+      o.delta = bench::default_delta(o.algo, cls);
+      o.obim_chunk_size = size;
+      const double tg =
+          bench::measure(w.graph, w.source, o, trials, team).best_seconds;
+      if (tg < galois_min) { galois_min = tg; galois_best = size; }
+      galois_max = std::max(galois_max, tg);
+
+      o.algo = Algorithm::kWasp;
+      o.delta = bench::default_delta(o.algo, cls);
+      o.wasp.chunk_capacity = size;
+      const double tw =
+          bench::measure(w.graph, w.source, o, trials, team).best_seconds;
+      if (tw < wasp_min) { wasp_min = tw; wasp_best = size; }
+      wasp_max = std::max(wasp_max, tw);
+    }
+    char ga[32], wa[32];
+    std::snprintf(ga, sizeof(ga), "%.2fx @%u", galois_max / galois_min, galois_best);
+    std::snprintf(wa, sizeof(wa), "%.2fx @%u", wasp_max / wasp_min, wasp_best);
+    std::printf("%-7s %-22s %-22s\n", suite::abbr(cls), ga, wa);
+    std::fflush(stdout);
+  }
+  std::printf("\nExpectation (paper): Galois spread ~1.3x; Wasp spread close "
+              "to 1.0x.\n");
+
+  // --- delta=1 safety on skewed classes --------------------------------------
+  std::printf("\nWasp delta=1 vs tuned delta (skewed classes only)\n\n");
+  std::printf("%-7s %-10s %-12s %-12s %-8s\n", "graph", "best-d", "t(best)",
+              "t(d=1)", "loss");
+  std::vector<double> losses;
+  for (const auto cls : classes) {
+    if (bench::is_low_degree_class(cls)) continue;
+    const auto w = suite::make(cls, args.get_double("scale"),
+                               static_cast<std::uint64_t>(args.get_int("seed")));
+    SsspOptions o;
+    o.algo = Algorithm::kWasp;
+    o.threads = threads;
+    const Weight best_delta =
+        bench::tune_delta(w.graph, w.source, o, {}, trials, team);
+    o.delta = best_delta;
+    const double t_best =
+        bench::measure(w.graph, w.source, o, trials, team).best_seconds;
+    o.delta = 1;
+    const double t_one =
+        bench::measure(w.graph, w.source, o, trials, team).best_seconds;
+    losses.push_back(t_one / t_best);
+    std::printf("%-7s %-10u %-12s %-12s %+.0f%%\n", suite::abbr(cls), best_delta,
+                bench::format_time_ms(t_best).c_str(),
+                bench::format_time_ms(t_one).c_str(),
+                (t_one / t_best - 1.0) * 100.0);
+    std::fflush(stdout);
+  }
+  if (!losses.empty())
+    std::printf("\ngmean loss of delta=1: %+.0f%% — expectation (paper): at "
+                "most ~20%%.\n", (geometric_mean(losses) - 1.0) * 100.0);
+  return 0;
+}

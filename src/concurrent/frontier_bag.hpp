@@ -1,0 +1,68 @@
+// Cooperative frontier bag: the "lazy-batched" frontier store used by the
+// Δ*-stepping / ρ-stepping baselines (Dong, Gu, Sun & Zhang, SPAA'21 use a
+// parallel hash-bag; this is the same contract on a flat layout).
+//
+// Threads append to private segments with no synchronization. Between
+// barriers, one thread computes offsets and every thread copies its own
+// segment into a shared dense array. All methods are safe under that
+// discipline only (documented per method).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/padded.hpp"
+#include "support/types.hpp"
+
+namespace wasp {
+
+class FrontierBag {
+ public:
+  explicit FrontierBag(int threads)
+      : locals_(static_cast<std::size_t>(threads)),
+        offsets_(static_cast<std::size_t>(threads) + 1, 0) {}
+
+  /// Appends to the caller's private segment. Concurrent across distinct
+  /// tids.
+  void insert(int tid, VertexId v) {
+    locals_[static_cast<std::size_t>(tid)].value.push_back(v);
+  }
+
+  /// Single-threaded (between barriers): computes per-thread offsets and
+  /// returns the total element count.
+  std::size_t compute_offsets() {
+    std::size_t total = 0;
+    for (std::size_t t = 0; t < locals_.size(); ++t) {
+      offsets_[t] = total;
+      total += locals_[t].value.size();
+    }
+    offsets_[locals_.size()] = total;
+    return total;
+  }
+
+  /// Cooperative (after compute_offsets + barrier): copies the caller's
+  /// segment into `out` at its offset and clears the segment. `out` must
+  /// have room for compute_offsets() elements.
+  void copy_out_and_clear(int tid, VertexId* out) {
+    auto& local = locals_[static_cast<std::size_t>(tid)].value;
+    VertexId* dst = out + offsets_[static_cast<std::size_t>(tid)];
+    for (std::size_t i = 0; i < local.size(); ++i) dst[i] = local[i];
+    local.clear();
+  }
+
+  /// Size of the caller's private segment.
+  [[nodiscard]] std::size_t local_size(int tid) const {
+    return locals_[static_cast<std::size_t>(tid)].value.size();
+  }
+
+  /// Direct access to a private segment (sampling for the ρ threshold).
+  [[nodiscard]] const std::vector<VertexId>& local(int tid) const {
+    return locals_[static_cast<std::size_t>(tid)].value;
+  }
+
+ private:
+  std::vector<CachePadded<std::vector<VertexId>>> locals_;
+  std::vector<std::size_t> offsets_;
+};
+
+}  // namespace wasp

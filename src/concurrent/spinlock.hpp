@@ -1,0 +1,41 @@
+// Tiny test-and-test-and-set spinlock with yield backoff.
+//
+// Used where the paper's baselines use locks (the MultiQueue's per-queue
+// locks, Galois/OBIM's global bags). Satisfies Lockable, so it composes with
+// std::lock_guard per the Core Guidelines (CP.20: RAII, never plain
+// lock()/unlock()).
+#pragma once
+
+#include <atomic>
+#include <thread>
+
+namespace wasp {
+
+class SpinLock {
+ public:
+  void lock() noexcept {
+    int spins = 0;
+    for (;;) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      while (flag_.load(std::memory_order_relaxed)) {
+        if (++spins > kSpinsBeforeYield) {
+          std::this_thread::yield();
+          spins = 0;
+        }
+      }
+    }
+  }
+
+  bool try_lock() noexcept {
+    return !flag_.load(std::memory_order_relaxed) &&
+           !flag_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() noexcept { flag_.store(false, std::memory_order_release); }
+
+ private:
+  static constexpr int kSpinsBeforeYield = 64;
+  std::atomic<bool> flag_{false};
+};
+
+}  // namespace wasp

@@ -1,0 +1,60 @@
+// Pendant-tree contraction — the preprocessing generalization of the
+// paper's leaf-pruning optimization (§4.4 notes the leaf check "could be
+// avoided through a fast preprocessing step on the graph", citing the
+// authors' follow-up work).
+//
+// Leaf pruning removes *single* degree-1 vertices from scheduling. Whole
+// pendant trees (trees hanging off the 2-core by a single attachment edge)
+// can be removed the same way: the shortest path to any tree vertex is the
+// shortest path to its attachment point plus the unique tree path. We
+// iteratively eliminate degree-1 vertices of an undirected graph, run SSSP
+// on the remaining core, and expand distances back down the trees in one
+// linear sweep.
+//
+// On graphs like Mawi (99% of the hub's neighbours are leaves) or road
+// networks with service spurs, this shrinks the SSSP instance substantially.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/types.hpp"
+
+namespace wasp {
+
+/// The result of contracting all pendant trees of an undirected graph.
+class PendantContraction {
+ public:
+  /// Contracts `g` (must be undirected). `keep` is never eliminated — pass
+  /// the SSSP source so expansion stays a pure downward sweep.
+  static PendantContraction contract(const Graph& g, VertexId keep);
+
+  /// The core graph: same vertex ids; eliminated vertices are isolated.
+  [[nodiscard]] const Graph& core() const { return core_; }
+
+  /// True when `v` survived contraction.
+  [[nodiscard]] bool in_core(VertexId v) const { return in_core_[v] != 0; }
+
+  /// Number of eliminated (pendant-tree) vertices.
+  [[nodiscard]] std::uint64_t num_eliminated() const { return order_.size(); }
+
+  /// Completes a core distance vector to the full graph: fills every
+  /// eliminated vertex with dist[parent] + w in reverse elimination order
+  /// (parents are finalized before children). `dist` must hold valid SSSP
+  /// distances for the core from a core source.
+  void expand(std::vector<Distance>& dist) const;
+
+ private:
+  struct Eliminated {
+    VertexId v;       // the removed vertex
+    VertexId parent;  // its last remaining neighbour at elimination time
+    Weight w;         // weight of the attachment edge
+  };
+
+  Graph core_;
+  std::vector<std::uint8_t> in_core_;
+  std::vector<Eliminated> order_;  // elimination order (leaves first)
+};
+
+}  // namespace wasp

@@ -1,0 +1,82 @@
+// Synthetic graph generators.
+//
+// The paper evaluates on 13 public graphs (Table 1) plus 9 additional ones
+// (Table 4).  This container cannot host multi-billion-edge downloads, so the
+// benchmark harness substitutes structural scale models produced by the
+// generators below (see DESIGN.md §1).  Each generator reproduces the
+// structural property that drives the paper's per-graph behaviour:
+//
+//   grid / mesh            -> Road-USA / Road-EU / Delaunay (large diameter,
+//                             degree <= 4 resp. 8)
+//   chain_forest           -> Kmer-v1r (very long induced paths, low degree)
+//   star_hub               -> Mawi (one hub adjacent to ~93% of V, ~99% of
+//                             which are degree-1 leaves)
+//   erdos_renyi            -> Urand (uniform degrees, small diameter)
+//   rmat                   -> Twitter / Friendster / sk-2005 / Kron / uk-*
+//                             (skewed degrees, small diameter; skew set by
+//                             the quadrant probabilities)
+//   random_regular         -> Random-regular (Table 4)
+//   hypercube              -> Hypercube (Table 4)
+//   small_world            -> Kkt-power-like (Table 4; local structure plus
+//                             long-range shortcuts)
+//   preferential_attachment-> Orkut-like dense social core
+//
+// All generators are deterministic in their seed.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "graph/weights.hpp"
+
+namespace wasp::gen {
+
+/// 4-connected rows x cols grid; undirected. Road-network model.
+Graph grid(std::uint32_t rows, std::uint32_t cols, const WeightScheme& ws,
+           std::uint64_t seed);
+
+/// 8-connected grid (adds diagonals); undirected. Delaunay-mesh model.
+Graph mesh(std::uint32_t rows, std::uint32_t cols, const WeightScheme& ws,
+           std::uint64_t seed);
+
+/// `num_chains` disjoint paths of `chain_len` vertices each, plus sparse
+/// random cross-links so the graph has one large component; undirected.
+/// Kmer model: huge diameter, average degree ~2.
+Graph chain_forest(std::uint32_t num_chains, std::uint32_t chain_len,
+                   const WeightScheme& ws, std::uint64_t seed);
+
+/// Star-like Mawi model: vertex 0 is a hub adjacent to `hub_fraction` of all
+/// vertices; a `branch_fraction` of the hub's neighbours receive extra random
+/// edges, the rest stay degree-1 leaves. Undirected.
+Graph star_hub(VertexId n, double hub_fraction, double branch_fraction,
+               const WeightScheme& ws, std::uint64_t seed);
+
+/// Erdős–Rényi G(n, m) with m = n*avg_degree/2 undirected edges. Urand model.
+Graph erdos_renyi(VertexId n, double avg_degree, const WeightScheme& ws,
+                  std::uint64_t seed);
+
+/// R-MAT generator: 2^scale vertices, `num_edges` generated (directed) edges
+/// with quadrant probabilities (a, b, c, 1-a-b-c). `undirected` symmetrizes.
+/// Kron/Twitter/web model depending on parameters.
+Graph rmat(int scale, EdgeIndex num_edges, double a, double b, double c,
+           const WeightScheme& ws, std::uint64_t seed, bool undirected);
+
+/// Approximately k-regular undirected graph on n vertices (permutation
+/// matchings; collisions and self-loops dropped, so degrees are ~k).
+Graph random_regular(VertexId n, int k, const WeightScheme& ws,
+                     std::uint64_t seed);
+
+/// `dims`-dimensional hypercube: 2^dims vertices, degree = dims; undirected.
+Graph hypercube(int dims, const WeightScheme& ws, std::uint64_t seed);
+
+/// Watts–Strogatz-style small world: ring with k nearest neighbours per
+/// side, each edge rewired with probability p. Undirected. Power-grid model.
+Graph small_world(VertexId n, int k, double rewire_p, const WeightScheme& ws,
+                  std::uint64_t seed);
+
+/// Barabási–Albert preferential attachment, m edges per new vertex;
+/// undirected. Dense social-core model.
+Graph preferential_attachment(VertexId n, int m, const WeightScheme& ws,
+                              std::uint64_t seed);
+
+}  // namespace wasp::gen

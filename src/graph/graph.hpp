@@ -1,0 +1,100 @@
+// Weighted graph in Compressed Sparse Row form.
+//
+// This is the storage every SSSP implementation in the repository operates
+// on: 32-bit vertex ids and weights (matching the paper's methodology), a
+// 64-bit offset array so graphs with more than 2^32 directed edges are
+// representable, and an `undirected` flag — undirected graphs store each
+// edge in both directions, exactly like the paper's datasets ("every edge is
+// counted twice in undirected graphs").
+#pragma once
+
+#include <cassert>
+#include <span>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace wasp {
+
+/// A directed edge with an explicit source, used by builders and generators.
+struct Edge {
+  VertexId src;
+  VertexId dst;
+  Weight w;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// Destination + weight pair as stored in the CSR adjacency array.
+struct WEdge {
+  VertexId dst;
+  Weight w;
+
+  friend bool operator==(const WEdge&, const WEdge&) = default;
+};
+static_assert(sizeof(WEdge) == 8, "WEdge must stay two packed 32-bit words");
+
+/// Immutable CSR graph.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds a CSR graph from an edge list.
+  ///
+  /// Self-loops are dropped (the paper's edge set excludes u == v). When
+  /// `undirected` is true every input edge {u,v} is stored as both (u,v) and
+  /// (v,u) with the same weight; num_edges() then counts both directions.
+  static Graph from_edges(VertexId num_vertices, const std::vector<Edge>& edges,
+                          bool undirected);
+
+  /// Builds directly from CSR arrays (used by I/O and transpose).
+  static Graph from_csr(std::vector<EdgeIndex> offsets, std::vector<WEdge> adjacency,
+                        bool undirected);
+
+  [[nodiscard]] VertexId num_vertices() const {
+    return offsets_.empty() ? 0 : static_cast<VertexId>(offsets_.size() - 1);
+  }
+
+  /// Number of stored (directed) edges.
+  [[nodiscard]] EdgeIndex num_edges() const {
+    return offsets_.empty() ? 0 : offsets_.back();
+  }
+
+  [[nodiscard]] bool is_undirected() const { return undirected_; }
+
+  [[nodiscard]] std::uint32_t out_degree(VertexId u) const {
+    assert(u < num_vertices());
+    return static_cast<std::uint32_t>(offsets_[u + 1] - offsets_[u]);
+  }
+
+  /// Outgoing adjacency of u as a contiguous span.
+  [[nodiscard]] std::span<const WEdge> out_neighbors(VertexId u) const {
+    assert(u < num_vertices());
+    return {adjacency_.data() + offsets_[u],
+            static_cast<std::size_t>(offsets_[u + 1] - offsets_[u])};
+  }
+
+  /// A sub-range [begin, end) of u's adjacency — the unit of work created by
+  /// Wasp's neighborhood decomposition (paper §4.4).
+  [[nodiscard]] std::span<const WEdge> out_neighbors(VertexId u, std::uint32_t begin,
+                                                     std::uint32_t end) const {
+    assert(begin <= end && end <= out_degree(u));
+    return {adjacency_.data() + offsets_[u] + begin,
+            static_cast<std::size_t>(end - begin)};
+  }
+
+  /// Raw CSR arrays, for serialization.
+  [[nodiscard]] const std::vector<EdgeIndex>& offsets() const { return offsets_; }
+  [[nodiscard]] const std::vector<WEdge>& adjacency() const { return adjacency_; }
+
+  /// Largest edge weight in the graph (0 for an edgeless graph). Useful for
+  /// choosing delta sweeps.
+  [[nodiscard]] Weight max_weight() const;
+
+ private:
+  std::vector<EdgeIndex> offsets_;  // size n+1
+  std::vector<WEdge> adjacency_;    // size num_edges()
+  bool undirected_ = false;
+};
+
+}  // namespace wasp

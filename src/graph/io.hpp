@@ -1,0 +1,50 @@
+// Graph serialization.
+//
+// Three formats, mirroring the paper artifact's conversion pipeline:
+//  * text edge lists ("u v w" per line, '#'/'%' comments) — the exchange
+//    format most public datasets ship in,
+//  * Matrix Market coordinate files (the SuiteSparse format the artifact
+//    converts from),
+//  * a binary CSR container ("WSPG" magic) — the fast load format, the
+//    analogue of GAP/GBBS binary graphs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace wasp::io {
+
+/// Writes "u v w" lines prefixed by a header comment.
+void write_edge_list(const Graph& g, std::ostream& out);
+void write_edge_list_file(const Graph& g, const std::string& path);
+
+/// Reads an edge list. Lines starting with '#' or '%' are skipped; a missing
+/// third column means weight 1. Vertex count is 1 + max id seen.
+Graph read_edge_list(std::istream& in, bool undirected);
+Graph read_edge_list_file(const std::string& path, bool undirected);
+
+/// Reads a Matrix Market coordinate file (integer/real/pattern, general or
+/// symmetric). Real weights are scaled by `real_scale` and rounded to >= 1,
+/// the paper's treatment of the Moliere float weights.
+Graph read_matrix_market(std::istream& in, double real_scale = 1.0);
+Graph read_matrix_market_file(const std::string& path, double real_scale = 1.0);
+
+/// Binary CSR container. Round-trips exactly.
+void write_binary(const Graph& g, std::ostream& out);
+void write_binary_file(const Graph& g, const std::string& path);
+Graph read_binary(std::istream& in);
+Graph read_binary_file(const std::string& path);
+
+/// GAP Benchmarking Suite serialized weighted graph (.wsg) — the format the
+/// paper's artifact converts every dataset into. Layout (all little-endian,
+/// as written by GAP's builder): bool directed; int64 num_edges; int64
+/// num_nodes; out_offsets int64[n+1]; out_neighbors {int32 dst, int32 w}[m];
+/// and, for directed graphs, the same pair of arrays for in-edges.
+void write_gap_wsg(const Graph& g, std::ostream& out);
+void write_gap_wsg_file(const Graph& g, const std::string& path);
+Graph read_gap_wsg(std::istream& in);
+Graph read_gap_wsg_file(const std::string& path);
+
+}  // namespace wasp::io

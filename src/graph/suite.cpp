@@ -1,0 +1,232 @@
+#include "graph/suite.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/weights.hpp"
+
+namespace wasp::suite {
+
+namespace {
+
+// Default scale-1 sizes. Chosen so the whole suite builds and every SSSP
+// implementation finishes in well under a second per trial on one core,
+// while keeping each class's structural signature (diameter, skew, leaf
+// fraction) intact.
+constexpr std::uint32_t kGridSide = 320;       // road: 102k vertices, diam ~640
+constexpr std::uint32_t kChains = 64;          // kmer: 64 chains x 2048
+constexpr std::uint32_t kChainLen = 2048;
+constexpr VertexId kStarN = 1 << 17;           // mawi: 131k vertices
+constexpr int kRmatScale = 16;                 // 65k vertices
+constexpr EdgeIndex kRmatEdges = 1 << 20;      // ~1M generated edges
+
+std::uint32_t scaled_u32(std::uint32_t base, double scale) {
+  return static_cast<std::uint32_t>(std::llround(base * std::sqrt(scale)));
+}
+
+int scaled_log2(int base, double scale) {
+  // scale multiplies the vertex count, so add log2(scale) to the exponent.
+  return base + static_cast<int>(std::llround(std::log2(std::max(scale, 0.05))));
+}
+
+}  // namespace
+
+const char* abbr(GraphClass cls) {
+  switch (cls) {
+    case GraphClass::kFriendster: return "FT";
+    case GraphClass::kKmer: return "KV";
+    case GraphClass::kKron: return "KR";
+    case GraphClass::kMawi: return "MW";
+    case GraphClass::kMoliere: return "ML";
+    case GraphClass::kOrkut: return "OK";
+    case GraphClass::kRoadEu: return "EU";
+    case GraphClass::kRoadUsa: return "USA";
+    case GraphClass::kWebSk: return "SK";
+    case GraphClass::kTwitter: return "TW";
+    case GraphClass::kUk2007: return "UK7";
+    case GraphClass::kUkUnion: return "UK6";
+    case GraphClass::kUrand: return "UR";
+    case GraphClass::kCircuit: return "CR";
+    case GraphClass::kDelaunay: return "DL";
+    case GraphClass::kHypercube: return "HC";
+    case GraphClass::kKktPower: return "KP";
+    case GraphClass::kNlpKkt: return "NL";
+    case GraphClass::kRandReg: return "RR";
+    case GraphClass::kSpielman: return "SM";
+    case GraphClass::kStokes: return "ST";
+    case GraphClass::kWebbase: return "WB";
+  }
+  return "?";
+}
+
+const char* describe(GraphClass cls) {
+  switch (cls) {
+    case GraphClass::kFriendster: return "Friendster-like social RMAT (directed)";
+    case GraphClass::kKmer: return "Kmer-like chain forest (undirected)";
+    case GraphClass::kKron: return "Kron-like RMAT (undirected)";
+    case GraphClass::kMawi: return "Mawi-like star hub + leaves (undirected)";
+    case GraphClass::kMoliere: return "Moliere-like dense network (undirected)";
+    case GraphClass::kOrkut: return "Orkut-like preferential attachment (undirected)";
+    case GraphClass::kRoadEu: return "Road-EU-like grid (undirected)";
+    case GraphClass::kRoadUsa: return "Road-USA-like grid (undirected)";
+    case GraphClass::kWebSk: return "sk-2005-like web RMAT (directed)";
+    case GraphClass::kTwitter: return "Twitter-like social RMAT (directed)";
+    case GraphClass::kUk2007: return "uk-2007-like web RMAT (undirected)";
+    case GraphClass::kUkUnion: return "uk-union-like web RMAT (directed)";
+    case GraphClass::kUrand: return "Urand-like Erdős–Rényi (undirected)";
+    case GraphClass::kCircuit: return "Circuit5M-like small world";
+    case GraphClass::kDelaunay: return "Delaunay-like mesh";
+    case GraphClass::kHypercube: return "Hypercube";
+    case GraphClass::kKktPower: return "Kkt-power-like small world";
+    case GraphClass::kNlpKkt: return "Nlpkkt-like mesh";
+    case GraphClass::kRandReg: return "Random-regular";
+    case GraphClass::kSpielman: return "Spielman-like grid Laplacian";
+    case GraphClass::kStokes: return "Stokes-like regular graph";
+    case GraphClass::kWebbase: return "Webbase-like web RMAT (directed)";
+  }
+  return "?";
+}
+
+std::vector<GraphClass> main_suite() {
+  return {GraphClass::kFriendster, GraphClass::kKmer,   GraphClass::kKron,
+          GraphClass::kMawi,       GraphClass::kMoliere, GraphClass::kOrkut,
+          GraphClass::kRoadEu,     GraphClass::kRoadUsa, GraphClass::kWebSk,
+          GraphClass::kTwitter,    GraphClass::kUk2007,  GraphClass::kUkUnion,
+          GraphClass::kUrand};
+}
+
+std::vector<GraphClass> core_suite() {
+  return {GraphClass::kRoadUsa, GraphClass::kKmer, GraphClass::kMawi,
+          GraphClass::kTwitter, GraphClass::kWebSk, GraphClass::kUrand,
+          GraphClass::kOrkut};
+}
+
+std::vector<GraphClass> appendix_suite() {
+  return {GraphClass::kCircuit, GraphClass::kDelaunay, GraphClass::kHypercube,
+          GraphClass::kKktPower, GraphClass::kNlpKkt,  GraphClass::kRandReg,
+          GraphClass::kSpielman, GraphClass::kStokes,  GraphClass::kWebbase};
+}
+
+GraphClass parse_abbr(const std::string& text) {
+  std::string up;
+  for (char c : text) up.push_back(static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+  for (const auto suites = {main_suite(), appendix_suite()}; const auto& s : suites)
+    for (GraphClass cls : s)
+      if (up == abbr(cls)) return cls;
+  throw std::invalid_argument("unknown graph abbreviation: " + text);
+}
+
+Workload make(GraphClass cls, double scale, std::uint64_t seed) {
+  const WeightScheme gapw = WeightScheme::gap();
+  Graph g;
+  switch (cls) {
+    case GraphClass::kFriendster:
+      g = gen::rmat(scaled_log2(kRmatScale, scale), static_cast<EdgeIndex>(kRmatEdges * scale),
+                    0.57, 0.19, 0.19, gapw, seed, /*undirected=*/false);
+      break;
+    case GraphClass::kKmer:
+      g = gen::chain_forest(scaled_u32(kChains, scale), scaled_u32(kChainLen, scale), gapw, seed);
+      break;
+    case GraphClass::kKron:
+      g = gen::rmat(scaled_log2(kRmatScale, scale), static_cast<EdgeIndex>(kRmatEdges * scale),
+                    0.57, 0.19, 0.19, gapw, seed, /*undirected=*/true);
+      break;
+    case GraphClass::kMawi:
+      // Hub adjacent to 93% of vertices, ~1% of spokes branch (the rest are
+      // degree-1 leaves) — the structure §5.1 highlights.
+      g = gen::star_hub(static_cast<VertexId>(kStarN * scale), 0.93, 0.01, gapw, seed);
+      break;
+    case GraphClass::kMoliere:
+      // Dense: average degree ~48 like Moliere's 220 scaled down.
+      g = gen::rmat(scaled_log2(kRmatScale - 2, scale),
+                    static_cast<EdgeIndex>(kRmatEdges * scale), 0.45, 0.22, 0.22,
+                    gapw, seed, /*undirected=*/true);
+      break;
+    case GraphClass::kOrkut:
+      g = gen::preferential_attachment(static_cast<VertexId>((1 << 15) * scale), 16, gapw, seed);
+      break;
+    case GraphClass::kRoadEu:
+      g = gen::grid(scaled_u32(kGridSide * 2, scale), scaled_u32(kGridSide / 2, scale), gapw, seed);
+      break;
+    case GraphClass::kRoadUsa:
+      g = gen::grid(scaled_u32(kGridSide, scale), scaled_u32(kGridSide, scale), gapw, seed);
+      break;
+    case GraphClass::kWebSk:
+      g = gen::rmat(scaled_log2(kRmatScale, scale), static_cast<EdgeIndex>(kRmatEdges * scale),
+                    0.65, 0.15, 0.15, gapw, seed, /*undirected=*/false);
+      break;
+    case GraphClass::kTwitter:
+      g = gen::rmat(scaled_log2(kRmatScale, scale), static_cast<EdgeIndex>(kRmatEdges * scale),
+                    0.57, 0.19, 0.19, gapw, seed ^ 0x7157ULL, /*undirected=*/false);
+      break;
+    case GraphClass::kUk2007:
+      g = gen::rmat(scaled_log2(kRmatScale, scale), static_cast<EdgeIndex>(kRmatEdges * scale),
+                    0.65, 0.15, 0.15, gapw, seed ^ 0x117ULL, /*undirected=*/true);
+      break;
+    case GraphClass::kUkUnion:
+      g = gen::rmat(scaled_log2(kRmatScale, scale), static_cast<EdgeIndex>(kRmatEdges * scale),
+                    0.62, 0.17, 0.17, gapw, seed ^ 0x116ULL, /*undirected=*/false);
+      break;
+    case GraphClass::kUrand:
+      g = gen::erdos_renyi(static_cast<VertexId>((1 << 16) * scale), 16.0, gapw, seed);
+      break;
+    default: {
+      // Appendix classes use the reviewers' weighting scheme: N(1, sqrt(V/E))
+      // truncated to positives (Appendix A).
+      const auto tn = [](VertexId v, EdgeIndex e) {
+        return WeightScheme::truncated_normal(
+            1.0, std::sqrt(static_cast<double>(v) / static_cast<double>(std::max<EdgeIndex>(e, 1))));
+      };
+      switch (cls) {
+        case GraphClass::kCircuit:
+          g = gen::small_world(static_cast<VertexId>((1 << 16) * scale), 5, 0.05,
+                               tn(1 << 16, (1 << 16) * 10), seed);
+          break;
+        case GraphClass::kDelaunay:
+          g = gen::mesh(scaled_u32(kGridSide, scale), scaled_u32(kGridSide, scale),
+                        tn(kGridSide * kGridSide, kGridSide * kGridSide * 8ULL), seed);
+          break;
+        case GraphClass::kHypercube:
+          g = gen::hypercube(scaled_log2(16, scale), tn(1 << 16, (1 << 16) * 16ULL), seed);
+          break;
+        case GraphClass::kKktPower:
+          g = gen::small_world(static_cast<VertexId>((1 << 16) * scale), 3, 0.01,
+                               tn(1 << 16, (1 << 16) * 6ULL), seed);
+          break;
+        case GraphClass::kNlpKkt:
+          g = gen::mesh(scaled_u32(kGridSide * 2, scale), scaled_u32(kGridSide / 2, scale),
+                        tn(kGridSide * kGridSide, kGridSide * kGridSide * 8ULL), seed);
+          break;
+        case GraphClass::kRandReg:
+          g = gen::random_regular(static_cast<VertexId>((1 << 16) * scale), 16,
+                                  tn(1 << 16, (1 << 16) * 16ULL), seed);
+          break;
+        case GraphClass::kSpielman:
+          g = gen::grid(scaled_u32(kGridSide * 4, scale), scaled_u32(kGridSide / 4, scale),
+                        tn(kGridSide * kGridSide, kGridSide * kGridSide * 4ULL), seed);
+          break;
+        case GraphClass::kStokes:
+          g = gen::random_regular(static_cast<VertexId>((1 << 15) * scale), 30,
+                                  tn(1 << 15, (1 << 15) * 30ULL), seed);
+          break;
+        case GraphClass::kWebbase:
+          g = gen::rmat(scaled_log2(kRmatScale, scale), static_cast<EdgeIndex>(kRmatEdges * scale),
+                        0.65, 0.15, 0.15, tn(1 << kRmatScale, kRmatEdges), seed ^ 0x3eb0ULL,
+                        /*undirected=*/false);
+          break;
+        default:
+          throw std::logic_error("suite::make: unhandled class");
+      }
+    }
+  }
+  Workload w;
+  w.cls = cls;
+  w.name = abbr(cls);
+  w.graph = std::move(g);
+  w.source = pick_source_in_largest_component(w.graph, seed ^ 0x50CEULL);
+  return w;
+}
+
+}  // namespace wasp::suite

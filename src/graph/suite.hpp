@@ -1,0 +1,80 @@
+// The benchmark workload suite: a structural scale model of every dataset in
+// the paper's Table 1 (main evaluation) and Table 4 (appendix), produced by
+// the generators in generators.hpp.
+//
+// `make(cls, scale, seed)` builds the graph and selects the trial source the
+// way the paper does (a pseudo-random vertex in the largest component).
+// `scale` multiplies the default vertex count: 1.0 gives instances sized to
+// finish quickly on a small machine while preserving each class's structure;
+// larger machines can pass --scale 8 or more to the bench binaries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/types.hpp"
+
+namespace wasp::suite {
+
+/// One per dataset class of the paper's evaluation.
+enum class GraphClass {
+  // Table 1 analogues.
+  kFriendster,  // FT  directed social RMAT
+  kKmer,        // KV  chain forest
+  kKron,        // KR  undirected Kronecker-style RMAT
+  kMawi,        // MW  star hub + leaves
+  kMoliere,     // ML  dense semantic network
+  kOrkut,       // OK  dense social (preferential attachment)
+  kRoadEu,      // EU  grid road network
+  kRoadUsa,     // USA grid road network
+  kWebSk,       // SK  directed web crawl (deep skew RMAT)
+  kTwitter,     // TW  directed social RMAT
+  kUk2007,      // UK7 undirected web crawl
+  kUkUnion,     // UK6 directed web crawl
+  kUrand,       // UR  Erdős–Rényi
+  // Table 4 / Figure 9 analogues (truncated-normal weights).
+  kCircuit,     // CR  circuit-like small world
+  kDelaunay,    // DL  mesh
+  kHypercube,   // HC  hypercube
+  kKktPower,    // KP  power-grid small world
+  kNlpKkt,      // NL  large stiff mesh
+  kRandReg,     // RR  random regular
+  kSpielman,    // SM  grid Laplacian
+  kStokes,      // ST  semiconductor-sim regular graph
+  kWebbase,     // WB  directed web crawl
+};
+
+/// Abbreviation used in the paper's tables (FT, KV, ...).
+const char* abbr(GraphClass cls);
+
+/// Longer human-readable name, e.g. "Friendster-like RMAT (directed)".
+const char* describe(GraphClass cls);
+
+/// Main-evaluation classes in the paper's Table 1 order.
+std::vector<GraphClass> main_suite();
+
+/// A reduced main suite covering each structural family once — the default
+/// for the slower experiments (delta sweeps, scaling).
+std::vector<GraphClass> core_suite();
+
+/// Appendix classes (Table 4) in order.
+std::vector<GraphClass> appendix_suite();
+
+/// A generated workload: the graph plus the trial source vertex.
+struct Workload {
+  GraphClass cls;
+  std::string name;
+  Graph graph;
+  VertexId source = 0;
+};
+
+/// Builds the scale model for `cls`.
+Workload make(GraphClass cls, double scale, std::uint64_t seed);
+
+/// Parses an abbreviation ("USA", case-insensitive) back to a class;
+/// throws std::invalid_argument on unknown names.
+GraphClass parse_abbr(const std::string& abbr);
+
+}  // namespace wasp::suite

@@ -1,0 +1,48 @@
+#include "graph/weights.hpp"
+
+#include <cmath>
+
+namespace wasp {
+
+WeightScheme WeightScheme::uniform(Weight lo, Weight hi) {
+  WeightScheme s;
+  s.kind_ = Kind::kUniform;
+  s.lo_ = lo;
+  s.hi_ = hi;
+  return s;
+}
+
+WeightScheme WeightScheme::truncated_normal(double mean, double sigma,
+                                            double scale) {
+  WeightScheme s;
+  s.kind_ = Kind::kTruncatedNormal;
+  s.mean_ = mean;
+  s.sigma_ = sigma;
+  s.scale_ = scale;
+  return s;
+}
+
+Weight WeightScheme::sample(Xoshiro256& rng) const {
+  if (kind_ == Kind::kUniform) {
+    return static_cast<Weight>(rng.next_in(lo_, hi_));
+  }
+  // Box-Muller, resampling until the draw is positive (truncation).
+  for (;;) {
+    const double u1 = rng.next_double();
+    const double u2 = rng.next_double();
+    if (u1 <= 0.0) continue;
+    const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+    const double value = mean_ + sigma_ * z;
+    if (value <= 0.0) continue;
+    const double scaled = std::round(value * scale_);
+    return scaled < 1.0 ? Weight{1} : static_cast<Weight>(scaled);
+  }
+}
+
+void assign_weights(std::vector<Edge>& edges, const WeightScheme& scheme,
+                    std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  for (Edge& e : edges) e.w = scheme.sample(rng);
+}
+
+}  // namespace wasp

@@ -1,0 +1,55 @@
+// Edge-weight assignment schemes.
+//
+// The paper uses two schemes:
+//  * The GAP Benchmarking Suite scheme — uniformly distributed integers in
+//    [1, 255] — for all graphs without natural weights (§5 Datasets).
+//  * The reviewers' scheme from Appendix A — a normal distribution with mean
+//    1 and sigma sqrt(|V|/|E|), truncated to exclude negatives, scaled to
+//    integers — for the additional datasets (Figure 9 / Table 4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/random.hpp"
+#include "support/types.hpp"
+
+namespace wasp {
+
+/// A distribution over edge weights. Value-type and cheap to copy.
+class WeightScheme {
+ public:
+  /// GAP scheme: uniform integers in [1, 255].
+  static WeightScheme gap() { return uniform(1, 255); }
+
+  /// Uniform integers in [lo, hi].
+  static WeightScheme uniform(Weight lo, Weight hi);
+
+  /// All weights 1 (turns SSSP into BFS; useful in tests).
+  static WeightScheme unit() { return uniform(1, 1); }
+
+  /// Appendix-A scheme: N(mean, sigma) truncated to (0, inf), scaled by
+  /// `scale` and rounded to an integer >= 1.
+  static WeightScheme truncated_normal(double mean, double sigma,
+                                       double scale = 1000.0);
+
+  /// Draws one weight.
+  [[nodiscard]] Weight sample(Xoshiro256& rng) const;
+
+ private:
+  enum class Kind { kUniform, kTruncatedNormal };
+  Kind kind_ = Kind::kUniform;
+  Weight lo_ = 1;
+  Weight hi_ = 255;
+  double mean_ = 1.0;
+  double sigma_ = 1.0;
+  double scale_ = 1000.0;
+};
+
+/// Overwrites the weight of every edge in `edges`, deterministically from
+/// `seed`.
+void assign_weights(std::vector<Edge>& edges, const WeightScheme& scheme,
+                    std::uint64_t seed);
+
+}  // namespace wasp

@@ -1,0 +1,73 @@
+#include "sssp/bellman_ford.hpp"
+
+#include <atomic>
+
+#include "concurrent/frontier_bag.hpp"
+#include "support/spin_barrier.hpp"
+#include "support/timer.hpp"
+
+namespace wasp {
+
+SsspResult bellman_ford(const Graph& g, VertexId source, ThreadTeam& team) {
+  const int p = team.size();
+  AtomicDistances dist(g.num_vertices());
+  dist.store(source, 0);
+
+  std::vector<VertexId> frontier{source};
+  FrontierBag next(p);
+  SpinBarrier barrier(p);
+  std::vector<CachePadded<ThreadCounters>> counters(static_cast<std::size_t>(p));
+  // Deduplicates frontier insertions within a round: a vertex improved many
+  // times per round is still processed once next round.
+  std::vector<std::atomic<std::uint8_t>> in_next(g.num_vertices());
+  for (auto& f : in_next) f.store(0, std::memory_order_relaxed);
+  std::atomic<std::size_t> cursor{0};
+  std::uint64_t rounds = 0;
+
+  Timer timer;
+  team.run([&](int tid) {
+    auto& my = counters[static_cast<std::size_t>(tid)].value;
+    for (;;) {
+      // Dynamic claim over the current frontier.
+      for (;;) {
+        const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (i >= frontier.size()) break;
+        const VertexId u = frontier[i];
+        // acq_rel exchanges on the dedup flag pair with relax_to's release:
+        // either the updater sees our cleared flag and re-inserts u, or we
+        // synchronize with its flag write and read the improved distance.
+        in_next[u].exchange(0, std::memory_order_acq_rel);
+        const Distance du = dist.load(u);
+        for (const WEdge& e : g.out_neighbors(u)) {
+          ++my.relaxations;
+          if (dist.relax_to(e.dst, du + e.w)) {
+            ++my.updates;
+            if (in_next[e.dst].exchange(1, std::memory_order_acq_rel) == 0)
+              next.insert(tid, e.dst);
+          }
+        }
+      }
+      barrier.wait(tid);
+      if (tid == 0) {
+        const std::size_t total = next.compute_offsets();
+        frontier.resize(total);
+        cursor.store(0, std::memory_order_relaxed);
+        ++rounds;
+      }
+      barrier.wait(tid);
+      if (frontier.empty()) break;
+      next.copy_out_and_clear(tid, frontier.data());
+      barrier.wait(tid);
+    }
+  });
+
+  SsspResult result;
+  result.stats.seconds = timer.seconds();
+  result.stats.rounds = rounds;
+  result.stats.barrier_ns = barrier.total_wait_ns();
+  accumulate_counters(counters, result.stats);
+  result.dist = dist.snapshot();
+  return result;
+}
+
+}  // namespace wasp

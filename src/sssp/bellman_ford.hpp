@@ -1,0 +1,17 @@
+// Frontier-based parallel Bellman-Ford: a simple round-synchronous baseline
+// (every active vertex relaxes all out-edges each round).  Not part of the
+// paper's comparison set, but a useful correctness cross-check and the
+// natural "maximum priority drift" endpoint of the design space Wasp
+// navigates.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "sssp/common.hpp"
+#include "support/thread_team.hpp"
+
+namespace wasp {
+
+/// Parallel frontier Bellman-Ford on `team` (or sequential when threads==1).
+SsspResult bellman_ford(const Graph& g, VertexId source, ThreadTeam& team);
+
+}  // namespace wasp

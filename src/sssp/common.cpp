@@ -1,0 +1,52 @@
+#include "sssp/common.hpp"
+
+#include <stdexcept>
+
+namespace wasp {
+
+const char* algorithm_name(Algorithm a) {
+  switch (a) {
+    case Algorithm::kDijkstra: return "dijkstra";
+    case Algorithm::kBellmanFord: return "bf";
+    case Algorithm::kDeltaStepping: return "gap";
+    case Algorithm::kJulienne: return "gbbs";
+    case Algorithm::kDeltaStar: return "dstar";
+    case Algorithm::kRhoStepping: return "rho";
+    case Algorithm::kRadiusStepping: return "radius";
+    case Algorithm::kMqDijkstra: return "mq";
+    case Algorithm::kSmqDijkstra: return "smq";
+    case Algorithm::kObim: return "galois";
+    case Algorithm::kWasp: return "wasp";
+  }
+  return "?";
+}
+
+Algorithm parse_algorithm(const std::string& name) {
+  if (name == "dijkstra") return Algorithm::kDijkstra;
+  if (name == "bf" || name == "bellman-ford") return Algorithm::kBellmanFord;
+  if (name == "gap" || name == "delta") return Algorithm::kDeltaStepping;
+  if (name == "gbbs" || name == "julienne") return Algorithm::kJulienne;
+  if (name == "dstar" || name == "delta-star") return Algorithm::kDeltaStar;
+  if (name == "rho" || name == "rho-stepping") return Algorithm::kRhoStepping;
+  if (name == "radius" || name == "radius-stepping") return Algorithm::kRadiusStepping;
+  if (name == "mq" || name == "multiqueue") return Algorithm::kMqDijkstra;
+  if (name == "smq" || name == "stealing-multiqueue") return Algorithm::kSmqDijkstra;
+  if (name == "galois" || name == "obim") return Algorithm::kObim;
+  if (name == "wasp") return Algorithm::kWasp;
+  throw std::invalid_argument("unknown algorithm: " + name);
+}
+
+void accumulate_counters(const std::vector<CachePadded<ThreadCounters>>& counters,
+                         SsspStats& stats) {
+  for (const auto& c : counters) {
+    stats.relaxations += c.value.relaxations;
+    stats.updates += c.value.updates;
+    stats.steals += c.value.steals;
+    stats.steal_attempts += c.value.steal_attempts;
+    stats.stale_skips += c.value.stale_skips;
+    stats.steal_ns += c.value.steal_ns;
+    stats.idle_ns += c.value.idle_ns;
+  }
+}
+
+}  // namespace wasp

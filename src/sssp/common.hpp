@@ -1,0 +1,177 @@
+// Shared machinery for every SSSP implementation: the atomic tentative-
+// distance array, the CAS edge-relaxation primitive (paper Algorithm 1,
+// relax()), per-thread instrumentation counters, and the option/result types
+// of the unified front-end in sssp.hpp.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/numa.hpp"
+#include "support/padded.hpp"
+#include "support/types.hpp"
+
+namespace wasp {
+
+/// Tentative-distance array with atomic CAS updates.
+class AtomicDistances {
+ public:
+  explicit AtomicDistances(std::size_t n)
+      : n_(n), dist_(std::make_unique<std::atomic<Distance>[]>(n)) {
+    for (std::size_t i = 0; i < n; ++i)
+      dist_[i].store(kInfDist, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+  [[nodiscard]] Distance load(VertexId v) const {
+    return dist_[v].load(std::memory_order_relaxed);
+  }
+
+  void store(VertexId v, Distance d) {
+    dist_[v].store(d, std::memory_order_relaxed);
+  }
+
+  /// The relax() primitive of Algorithm 1 (lines 1-8): lowers dist[v] to
+  /// `candidate` with a CAS loop. Returns true when this call achieved a
+  /// strict improvement (the caller then reschedules v). Success publishes
+  /// with release semantics so a scheduler flag written afterwards carries
+  /// visibility of the new distance.
+  bool relax_to(VertexId v, Distance candidate) {
+    Distance old = dist_[v].load(std::memory_order_relaxed);
+    while (candidate < old) {
+      if (dist_[v].compare_exchange_weak(old, candidate,
+                                         std::memory_order_release,
+                                         std::memory_order_relaxed)) {
+        return true;
+      }
+      // `old` reloaded by the failed CAS; loop re-checks the improvement.
+    }
+    return false;
+  }
+
+  /// Copies distances out (result snapshot; call after the parallel phase).
+  [[nodiscard]] std::vector<Distance> snapshot() const {
+    std::vector<Distance> out(n_);
+    for (std::size_t i = 0; i < n_; ++i)
+      out[i] = dist_[i].load(std::memory_order_relaxed);
+    return out;
+  }
+
+ private:
+  std::size_t n_;
+  std::unique_ptr<std::atomic<Distance>[]> dist_;
+};
+
+/// Per-thread instrumentation, cache-padded; summed into SsspStats.
+struct ThreadCounters {
+  std::uint64_t relaxations = 0;    ///< edge relaxations attempted
+  std::uint64_t updates = 0;        ///< successful distance improvements
+  std::uint64_t steals = 0;         ///< chunks successfully stolen
+  std::uint64_t steal_attempts = 0; ///< steal() calls on victims' deques
+  std::uint64_t vertices_processed = 0;
+  std::uint64_t stale_skips = 0;    ///< scheduled entries skipped as stale
+  std::uint64_t steal_ns = 0;       ///< time inside victim sweeps
+  std::uint64_t idle_ns = 0;        ///< time idling in termination scans
+};
+
+/// Which algorithm the front-end dispatches to.
+enum class Algorithm {
+  kDijkstra,       ///< sequential reference (binary/d-ary heap)
+  kBellmanFord,    ///< round-synchronous frontier Bellman-Ford
+  kDeltaStepping,  ///< GAP-style synchronous delta-stepping (+bucket fusion)
+  kJulienne,       ///< GBBS-style centralized bucketing delta-stepping
+  kDeltaStar,      ///< Dong et al. Δ*-stepping (threshold = min + Δ)
+  kRhoStepping,    ///< Dong et al. ρ-stepping (threshold = ρ-th smallest)
+  kRadiusStepping, ///< Blelloch et al. radius-stepping (extension baseline)
+  kMqDijkstra,     ///< parallel Dijkstra over the MultiQueue
+  kSmqDijkstra,    ///< parallel Dijkstra over the Stealing MultiQueue (ext.)
+  kObim,           ///< Galois-style asynchronous delta-stepping (OBIM)
+  kWasp,           ///< the paper's contribution
+};
+
+/// Parse/print helpers ("wasp", "gap", "gbbs", "dstar", "rho", "mq",
+/// "galois", "dijkstra", "bf").
+const char* algorithm_name(Algorithm a);
+Algorithm parse_algorithm(const std::string& name);
+
+/// Victim-selection policy of Wasp's work-stealing (the §4.2 ablation).
+enum class StealPolicy {
+  kPriorityNuma,  ///< the paper's protocol (Algorithm 2)
+  kRandom,        ///< traditional random victim, `steal_retries` attempts
+  kTwoChoice,     ///< MultiQueue-like: two random victims, steal the better
+};
+
+/// Wasp-specific knobs (paper §4.3-4.4 defaults).
+struct WaspConfig {
+  bool leaf_pruning = true;
+  bool bidirectional_relaxation = true;
+  bool neighborhood_decomposition = true;
+  std::uint32_t theta = 1u << 20;  ///< neighborhood-decomposition threshold
+  StealPolicy steal_policy = StealPolicy::kPriorityNuma;
+  int steal_retries = 8;  ///< victim attempts for kRandom / kTwoChoice
+  /// Chunk capacity in vertices; a compile-time property of the shipped
+  /// instantiations (16, 32, 64, 128, 256). The paper uses 64 and reports
+  /// insensitivity to the choice (§5.1).
+  std::uint32_t chunk_capacity = 64;
+  /// Synthetic NUMA topology override for tests/benches; empty = detect().
+  std::shared_ptr<const NumaTopology> topology;
+};
+
+/// Options for run_sssp().
+struct SsspOptions {
+  Algorithm algo = Algorithm::kWasp;
+  int threads = 1;
+  Weight delta = 1;  ///< Δ (bucket width) for all Δ-based algorithms
+
+  WaspConfig wasp;
+
+  // Dong et al. stepping knobs.
+  std::uint64_t rho = 1u << 14;     ///< ρ for ρ-stepping
+  bool direction_optimize = true;   ///< pull step on huge frontiers
+  // Radius-stepping knob.
+  std::uint32_t radius_k = 16;      ///< k for the r_k(v) preprocessing
+  // GAP knobs.
+  bool bucket_fusion = true;
+  // MultiQueue knobs.
+  int mq_c = 2;
+  int mq_stickiness = 8;
+  int mq_buffer = 16;
+  // Stealing-MultiQueue knob.
+  int smq_steal_batch = 8;
+  // Galois/OBIM knobs.
+  std::uint32_t obim_chunk_size = 128;
+
+  std::uint64_t seed = 0x5EEDULL;
+};
+
+/// Instrumentation totals for one run.
+struct SsspStats {
+  double seconds = 0.0;            ///< parallel-phase wall time
+  std::uint64_t relaxations = 0;
+  std::uint64_t updates = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t steal_attempts = 0;
+  std::uint64_t stale_skips = 0;   ///< redundant scheduling (priority drift)
+  std::uint64_t rounds = 0;        ///< synchronous steps (0 for async)
+  std::uint64_t barrier_ns = 0;    ///< total barrier wait across threads
+  std::uint64_t queue_op_ns = 0;   ///< total locked MultiQueue op time
+  std::uint64_t steal_ns = 0;      ///< total time in Wasp victim sweeps
+  std::uint64_t idle_ns = 0;       ///< total Wasp idle/termination-scan time
+};
+
+/// Distances plus stats.
+struct SsspResult {
+  std::vector<Distance> dist;
+  SsspStats stats;
+};
+
+/// Sums an array of per-thread counters into `stats`.
+void accumulate_counters(const std::vector<CachePadded<ThreadCounters>>& counters,
+                         SsspStats& stats);
+
+}  // namespace wasp

@@ -1,0 +1,28 @@
+#include "sssp/contracted.hpp"
+
+#include "sssp/sssp.hpp"
+#include "support/timer.hpp"
+
+namespace wasp {
+
+ContractedResult run_sssp_contracted(const Graph& g, VertexId source,
+                                     const SsspOptions& options) {
+  ContractedResult out;
+  Timer pre;
+  const PendantContraction pc = PendantContraction::contract(g, source);
+  out.preprocess_seconds = pre.seconds();
+  out.eliminated_vertices = pc.num_eliminated();
+
+  // With the whole pendant structure gone, the per-vertex leaf bitmap is
+  // redundant work for the core solve.
+  SsspOptions core_options = options;
+  core_options.wasp.leaf_pruning = false;
+  out.result = run_sssp(pc.core(), source, core_options);
+
+  Timer post;
+  pc.expand(out.result.dist);
+  out.preprocess_seconds += post.seconds();
+  return out;
+}
+
+}  // namespace wasp

@@ -1,0 +1,24 @@
+// SSSP with pendant-tree contraction: contract, solve on the core with any
+// algorithm, expand — exact distances with (potentially) much less parallel
+// work. The preprocessing-based generalization of Wasp's leaf pruning.
+#pragma once
+
+#include "graph/contraction.hpp"
+#include "sssp/common.hpp"
+
+namespace wasp {
+
+/// Runs `options.algo` on the pendant-contracted core of the undirected
+/// graph `g` and expands the distances back to all vertices. The returned
+/// stats cover the core solve; `preprocess_seconds` reports contraction +
+/// expansion cost separately so callers can amortize it across runs.
+struct ContractedResult {
+  SsspResult result;
+  double preprocess_seconds = 0.0;
+  std::uint64_t eliminated_vertices = 0;
+};
+
+ContractedResult run_sssp_contracted(const Graph& g, VertexId source,
+                                     const SsspOptions& options);
+
+}  // namespace wasp

@@ -1,0 +1,161 @@
+#include "sssp/delta_stepping.hpp"
+
+#include <atomic>
+#include <limits>
+
+#include "support/padded.hpp"
+#include "support/spin_barrier.hpp"
+#include "support/timer.hpp"
+
+namespace wasp {
+
+namespace {
+
+constexpr std::uint64_t kInfBin = std::numeric_limits<std::uint64_t>::max();
+
+/// A thread's bin array: bin i holds vertices with coarsened distance i.
+/// Grown on demand (power-of-two rounding like the paper's bucket vector).
+struct LocalBins {
+  std::vector<std::vector<VertexId>> bins;
+
+  std::vector<VertexId>& at(std::uint64_t bin) {
+    if (bin >= bins.size()) {
+      std::size_t cap = bins.empty() ? 64 : bins.size();
+      while (cap <= bin) cap *= 2;
+      bins.resize(cap);
+    }
+    return bins[bin];
+  }
+
+  [[nodiscard]] std::uint64_t min_non_empty(std::uint64_t from) const {
+    for (std::uint64_t b = from; b < bins.size(); ++b)
+      if (!bins[b].empty()) return b;
+    return kInfBin;
+  }
+};
+
+// GAP's bucket-fusion bound: a thread keeps draining its own current bin
+// within a step while it stays below this size.
+constexpr std::size_t kFusionLimit = 1u << 12;
+
+}  // namespace
+
+SsspResult delta_stepping(const Graph& g, VertexId source, Weight delta,
+                          bool bucket_fusion, ThreadTeam& team) {
+  if (delta == 0) delta = 1;
+  const int p = team.size();
+  AtomicDistances dist(g.num_vertices());
+  dist.store(source, 0);
+
+  std::vector<CachePadded<LocalBins>> bins(static_cast<std::size_t>(p));
+  std::vector<CachePadded<ThreadCounters>> counters(static_cast<std::size_t>(p));
+  std::vector<CachePadded<std::uint64_t>> local_min(static_cast<std::size_t>(p));
+  std::vector<CachePadded<std::uint64_t>> local_size(static_cast<std::size_t>(p));
+  std::vector<CachePadded<std::uint64_t>> local_offset(static_cast<std::size_t>(p));
+
+  std::vector<VertexId> frontier{source};
+  std::atomic<std::size_t> cursor{0};
+  std::uint64_t curr_bin = 0;
+  std::uint64_t rounds = 0;
+  bool done = false;
+  SpinBarrier barrier(p);
+
+  Timer timer;
+  team.run([&](int tid) {
+    auto& my_bins = bins[static_cast<std::size_t>(tid)].value;
+    auto& my = counters[static_cast<std::size_t>(tid)].value;
+
+    // Relaxes u's out-edges; improved vertices land in this thread's bins.
+    const auto process_vertex = [&](VertexId u) {
+      const Distance du = dist.load(u);
+      // Stale check (a better path moved u to an earlier bin already):
+      // Algorithm 1 line 20, distance[u] >= delta * prio.
+      if (static_cast<std::uint64_t>(du) <
+          curr_bin * static_cast<std::uint64_t>(delta)) {
+        ++my.stale_skips;
+        return;
+      }
+      ++my.vertices_processed;
+      for (const WEdge& e : g.out_neighbors(u)) {
+        ++my.relaxations;
+        const Distance nd = du + e.w;
+        if (dist.relax_to(e.dst, nd)) {
+          ++my.updates;
+          my_bins.at(nd / delta).push_back(e.dst);
+        }
+      }
+    };
+
+    while (!done) {
+      // Bulk-process the shared frontier (the current bin's vertices).
+      for (;;) {
+        const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (i >= frontier.size()) break;
+        process_vertex(frontier[i]);
+      }
+
+      // Bucket fusion: keep draining our own current bin while it is small,
+      // saving whole synchronous steps (GAP's optimization for
+      // large-diameter graphs).
+      if (bucket_fusion) {
+        std::vector<VertexId> fused;
+        while (curr_bin < my_bins.bins.size() &&
+               !my_bins.bins[curr_bin].empty() &&
+               my_bins.bins[curr_bin].size() <= kFusionLimit) {
+          fused.swap(my_bins.bins[curr_bin]);
+          for (const VertexId u : fused) process_vertex(u);
+          fused.clear();
+        }
+      }
+
+      barrier.wait(tid);
+
+      // Cooperative gather of the next bin into the shared frontier.
+      local_min[static_cast<std::size_t>(tid)].value =
+          my_bins.min_non_empty(curr_bin);
+      barrier.wait(tid);
+      if (tid == 0) {
+        std::uint64_t next = kInfBin;
+        for (int t = 0; t < p; ++t)
+          next = std::min(next, local_min[static_cast<std::size_t>(t)].value);
+        curr_bin = next;
+        done = next == kInfBin;
+        ++rounds;
+      }
+      barrier.wait(tid);
+      if (done) break;
+
+      local_size[static_cast<std::size_t>(tid)].value =
+          curr_bin < my_bins.bins.size() ? my_bins.bins[curr_bin].size() : 0;
+      barrier.wait(tid);
+      if (tid == 0) {
+        std::uint64_t total = 0;
+        for (int t = 0; t < p; ++t) {
+          local_offset[static_cast<std::size_t>(t)].value = total;
+          total += local_size[static_cast<std::size_t>(t)].value;
+        }
+        frontier.resize(total);
+        cursor.store(0, std::memory_order_relaxed);
+      }
+      barrier.wait(tid);
+      if (curr_bin < my_bins.bins.size()) {
+        auto& bin = my_bins.bins[curr_bin];
+        VertexId* out =
+            frontier.data() + local_offset[static_cast<std::size_t>(tid)].value;
+        for (std::size_t i = 0; i < bin.size(); ++i) out[i] = bin[i];
+        bin.clear();
+      }
+      barrier.wait(tid);
+    }
+  });
+
+  SsspResult result;
+  result.stats.seconds = timer.seconds();
+  result.stats.rounds = rounds;
+  result.stats.barrier_ns = barrier.total_wait_ns();
+  accumulate_counters(counters, result.stats);
+  result.dist = dist.snapshot();
+  return result;
+}
+
+}  // namespace wasp

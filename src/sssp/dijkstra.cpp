@@ -1,0 +1,35 @@
+#include "sssp/dijkstra.hpp"
+
+#include "concurrent/dary_heap.hpp"
+#include "support/timer.hpp"
+
+namespace wasp {
+
+SsspResult dijkstra(const Graph& g, VertexId source) {
+  Timer timer;
+  SsspResult result;
+  result.dist.assign(g.num_vertices(), kInfDist);
+  DaryHeap<Distance, VertexId, 4> heap;
+  heap.reserve(1024);
+
+  result.dist[source] = 0;
+  heap.push(0, source);
+  std::uint64_t relaxations = 0;
+  while (!heap.empty()) {
+    const auto [d, u] = heap.pop();
+    if (d != result.dist[u]) continue;  // stale entry (lazy deletion)
+    for (const WEdge& e : g.out_neighbors(u)) {
+      ++relaxations;
+      const Distance candidate = d + e.w;
+      if (candidate < result.dist[e.dst]) {
+        result.dist[e.dst] = candidate;
+        heap.push(candidate, e.dst);
+      }
+    }
+  }
+  result.stats.relaxations = relaxations;
+  result.stats.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace wasp

@@ -1,0 +1,15 @@
+// Sequential Dijkstra — the correctness reference for every parallel
+// implementation, and the work-efficiency baseline of Figure 8 (its
+// relaxation count is "the theoretical minimum number of relaxations" the
+// priority-drift analysis normalizes against).
+#pragma once
+
+#include "graph/graph.hpp"
+#include "sssp/common.hpp"
+
+namespace wasp {
+
+/// Dijkstra with a 4-ary heap and lazy deletion.
+SsspResult dijkstra(const Graph& g, VertexId source);
+
+}  // namespace wasp

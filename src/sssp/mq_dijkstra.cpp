@@ -1,0 +1,76 @@
+#include "sssp/mq_dijkstra.hpp"
+
+#include <atomic>
+#include <thread>
+
+#include "concurrent/multiqueue.hpp"
+#include "support/timer.hpp"
+
+namespace wasp {
+
+SsspResult mq_dijkstra(const Graph& g, VertexId source, int c, int stickiness,
+                       int buffer_size, std::uint64_t seed, ThreadTeam& team) {
+  const int p = team.size();
+  AtomicDistances dist(g.num_vertices());
+  dist.store(source, 0);
+
+  MultiQueue::Config config;
+  config.threads = p;
+  config.c = c;
+  config.stickiness = stickiness;
+  config.buffer_size = buffer_size;
+  config.seed = seed;
+  MultiQueue mq(config);
+  mq.push(0, 0, source);
+  mq.flush(0);
+
+  std::vector<CachePadded<ThreadCounters>> counters(static_cast<std::size_t>(p));
+  // Threads currently holding popped work; termination needs the queue empty
+  // AND nobody mid-processing (a processor may push more work).
+  std::atomic<int> busy{0};
+
+  Timer timer;
+  team.run([&](int tid) {
+    auto& my = counters[static_cast<std::size_t>(tid)].value;
+    for (;;) {
+      Distance d = 0;
+      VertexId u = 0;
+      // Raise `busy` before popping: a thread that pops the queue's last
+      // element decrements the size counter after this increment, so any
+      // thread observing size == 0 also observes busy > 0 and cannot
+      // terminate while work is in flight.
+      busy.fetch_add(1, std::memory_order_acq_rel);
+      if (mq.try_pop(tid, d, u)) {
+        // Stale check: a better path was found after this entry was pushed.
+        if (d != dist.load(u)) ++my.stale_skips;
+        if (d == dist.load(u)) {
+          ++my.vertices_processed;
+          for (const WEdge& e : g.out_neighbors(u)) {
+            ++my.relaxations;
+            const Distance nd = d + e.w;
+            if (dist.relax_to(e.dst, nd)) {
+              ++my.updates;
+              mq.push(tid, nd, e.dst);
+            }
+          }
+        }
+        mq.flush(tid);
+        busy.fetch_sub(1, std::memory_order_acq_rel);
+        continue;
+      }
+      busy.fetch_sub(1, std::memory_order_acq_rel);
+      if (mq.size_estimate() == 0 && busy.load(std::memory_order_acquire) == 0)
+        break;
+      std::this_thread::yield();
+    }
+  });
+
+  SsspResult result;
+  result.stats.seconds = timer.seconds();
+  for (int t = 0; t < p; ++t) result.stats.queue_op_ns += mq.queue_op_ns(t);
+  accumulate_counters(counters, result.stats);
+  result.dist = dist.snapshot();
+  return result;
+}
+
+}  // namespace wasp

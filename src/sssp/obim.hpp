@@ -1,0 +1,24 @@
+// Galois-style asynchronous delta-stepping on an OBIM-like scheduler
+// (Lenharth, Nguyen & Pingali, Euro-Par'15; Nguyen et al., SOSP'13):
+// vertices are grouped into priority levels (coarsened distance / delta);
+// each thread works out of thread-local per-level chunk bags, full chunks
+// overflow into lock-protected global per-level bags, and a thread whose
+// local work at its current level runs out synchronizes with the global
+// structure to find the highest-priority available bag.
+//
+// The chunk size is the tuning parameter the paper highlights for Galois
+// (§5, Baselines Configuration: 128 vertices, with large impact on
+// skewed-degree graphs).
+#pragma once
+
+#include "graph/graph.hpp"
+#include "sssp/common.hpp"
+#include "support/thread_team.hpp"
+
+namespace wasp {
+
+/// Runs OBIM-style asynchronous delta-stepping with the given chunk size.
+SsspResult obim_sssp(const Graph& g, VertexId source, Weight delta,
+                     std::uint32_t chunk_size, ThreadTeam& team);
+
+}  // namespace wasp

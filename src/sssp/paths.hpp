@@ -1,0 +1,50 @@
+// Shortest-path tree utilities layered on top of a distance vector: parent
+// extraction, path queries, and batched multi-source runs (the repeated-SSSP
+// pattern of betweenness/closeness workloads the paper's introduction
+// motivates).
+//
+// All functions work from the *distances* alone (plus the graph): any vertex
+// v's parent is an in-neighbour u with dist[u] + w(u,v) == dist[v], which
+// always exists for a valid SSSP fixed point. This keeps the hot SSSP loops
+// free of parent bookkeeping.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sssp/common.hpp"
+
+namespace wasp {
+
+/// Parent of every vertex in one shortest-path tree (kInvalidVertex for the
+/// source and for unreachable vertices). O(|E|) via the transpose.
+std::vector<VertexId> shortest_path_tree(const Graph& g, VertexId source,
+                                         const std::vector<Distance>& dist);
+
+/// The vertices of one shortest path source -> target (inclusive), or empty
+/// when target is unreachable. O(path length * in-degree) — no transpose
+/// needed for undirected graphs; directed graphs pass the transpose.
+std::vector<VertexId> extract_path(const Graph& g, VertexId source,
+                                   VertexId target,
+                                   const std::vector<Distance>& dist);
+
+/// Result of a batched run: one distance vector per source.
+struct BatchResult {
+  std::vector<SsspResult> runs;
+  double total_seconds = 0.0;
+};
+
+/// Runs SSSP from every vertex in `sources`, reusing one thread team across
+/// runs (thread creation amortized, as in the benchmark harness).
+BatchResult run_sssp_batch(const Graph& g, const std::vector<VertexId>& sources,
+                           const SsspOptions& options);
+
+/// Closeness centrality of `v` given its SSSP distances:
+/// (reached - 1) / sum of distances; 0 when nothing is reached.
+double closeness_centrality(const std::vector<Distance>& dist, VertexId v);
+
+/// Number of vertices within `budget` of the source (excluding the source).
+std::uint64_t reach_within(const std::vector<Distance>& dist, VertexId source,
+                           Distance budget);
+
+}  // namespace wasp

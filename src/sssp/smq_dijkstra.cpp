@@ -1,0 +1,67 @@
+#include "sssp/smq_dijkstra.hpp"
+
+#include <atomic>
+#include <thread>
+
+#include "concurrent/stealing_multiqueue.hpp"
+#include "support/timer.hpp"
+
+namespace wasp {
+
+SsspResult smq_dijkstra(const Graph& g, VertexId source, int steal_batch,
+                        std::uint64_t seed, ThreadTeam& team) {
+  const int p = team.size();
+  AtomicDistances dist(g.num_vertices());
+  dist.store(source, 0);
+
+  StealingMultiQueue::Config config;
+  config.threads = p;
+  config.steal_batch = steal_batch;
+  config.seed = seed;
+  StealingMultiQueue smq(config);
+  smq.push(0, 0, source);
+
+  std::vector<CachePadded<ThreadCounters>> counters(static_cast<std::size_t>(p));
+  std::atomic<int> busy{0};
+
+  Timer timer;
+  team.run([&](int tid) {
+    auto& my = counters[static_cast<std::size_t>(tid)].value;
+    for (;;) {
+      Distance d = 0;
+      VertexId u = 0;
+      // Same visibility protocol as mq_dijkstra: busy is raised before the
+      // pop, so size==0 observed by others implies busy>0 while any element
+      // is mid-processing.
+      busy.fetch_add(1, std::memory_order_acq_rel);
+      if (smq.try_pop(tid, d, u)) {
+        if (d != dist.load(u)) ++my.stale_skips;
+        if (d == dist.load(u)) {  // stale check
+          ++my.vertices_processed;
+          for (const WEdge& e : g.out_neighbors(u)) {
+            ++my.relaxations;
+            const Distance nd = d + e.w;
+            if (dist.relax_to(e.dst, nd)) {
+              ++my.updates;
+              smq.push(tid, nd, e.dst);
+            }
+          }
+        }
+        busy.fetch_sub(1, std::memory_order_acq_rel);
+        continue;
+      }
+      busy.fetch_sub(1, std::memory_order_acq_rel);
+      if (smq.size_estimate() == 0 && busy.load(std::memory_order_acquire) == 0)
+        break;
+      std::this_thread::yield();
+    }
+  });
+
+  SsspResult result;
+  result.stats.seconds = timer.seconds();
+  accumulate_counters(counters, result.stats);
+  result.dist = dist.snapshot();
+  return result;
+}
+
+}  // namespace wasp

@@ -1,0 +1,16 @@
+// Parallel Dijkstra over the Stealing MultiQueue (extension baseline; see
+// concurrent/stealing_multiqueue.hpp). Same driver loop as mq_dijkstra, with
+// private heaps + batched stealing instead of shared lock-protected queues.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "sssp/common.hpp"
+#include "support/thread_team.hpp"
+
+namespace wasp {
+
+/// Runs SMQ-based parallel Dijkstra with steal batches of `steal_batch`.
+SsspResult smq_dijkstra(const Graph& g, VertexId source, int steal_batch,
+                        std::uint64_t seed, ThreadTeam& team);
+
+}  // namespace wasp

@@ -1,0 +1,63 @@
+#include "sssp/sssp.hpp"
+
+#include "sssp/bellman_ford.hpp"
+#include "sssp/delta_stepping.hpp"
+#include "sssp/dijkstra.hpp"
+#include "sssp/julienne.hpp"
+#include "sssp/mq_dijkstra.hpp"
+#include "sssp/obim.hpp"
+#include "sssp/smq_dijkstra.hpp"
+#include "sssp/stepping.hpp"
+#include "sssp/wasp.hpp"
+
+namespace wasp {
+
+SsspResult run_sssp(const Graph& g, VertexId source, const SsspOptions& options,
+                    ThreadTeam& team) {
+  switch (options.algo) {
+    case Algorithm::kDijkstra:
+      return dijkstra(g, source);
+    case Algorithm::kBellmanFord:
+      return bellman_ford(g, source, team);
+    case Algorithm::kDeltaStepping:
+      return delta_stepping(g, source, options.delta, options.bucket_fusion,
+                            team);
+    case Algorithm::kJulienne:
+      return julienne_sssp(g, source, options.delta, options.direction_optimize,
+                           team);
+    case Algorithm::kDeltaStar:
+      return stepping_sssp(g, source, SteppingKind::kDeltaStar, options.delta,
+                           options.rho, options.direction_optimize, team);
+    case Algorithm::kRhoStepping:
+      return stepping_sssp(g, source, SteppingKind::kRho, options.delta,
+                           options.rho, options.direction_optimize, team);
+    case Algorithm::kRadiusStepping: {
+      // Preprocessing (the r_k radii) is part of radius-stepping's contract;
+      // its cost is excluded from stats.seconds like the baselines' graph
+      // loading, but callers wanting end-to-end cost can time this call.
+      const std::vector<Distance> radii =
+          compute_radii(g, options.radius_k, team);
+      return stepping_sssp(g, source, SteppingKind::kRadius, options.delta,
+                           options.rho, options.direction_optimize, team,
+                           &radii);
+    }
+    case Algorithm::kMqDijkstra:
+      return mq_dijkstra(g, source, options.mq_c, options.mq_stickiness,
+                         options.mq_buffer, options.seed, team);
+    case Algorithm::kSmqDijkstra:
+      return smq_dijkstra(g, source, options.smq_steal_batch, options.seed,
+                          team);
+    case Algorithm::kObim:
+      return obim_sssp(g, source, options.delta, options.obim_chunk_size, team);
+    case Algorithm::kWasp:
+      return wasp_sssp(g, source, options.delta, options.wasp, team);
+  }
+  return dijkstra(g, source);  // unreachable
+}
+
+SsspResult run_sssp(const Graph& g, VertexId source, const SsspOptions& options) {
+  ThreadTeam team(options.threads);
+  return run_sssp(g, source, options, team);
+}
+
+}  // namespace wasp

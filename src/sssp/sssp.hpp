@@ -1,0 +1,32 @@
+// Unified SSSP front-end: one call dispatching to any of the eleven
+// implementations (Wasp, the six paper baselines, two related-work extension
+// baselines — radius-stepping and the Stealing MultiQueue — and two
+// references), all returning the same SsspResult.  This is the library's
+// primary public API:
+//
+//   #include "sssp/sssp.hpp"
+//   wasp::SsspOptions opt;
+//   opt.algo = wasp::Algorithm::kWasp;
+//   opt.threads = 8;
+//   opt.delta = 1;
+//   wasp::SsspResult r = wasp::run_sssp(graph, source, opt);
+//
+// A ThreadTeam overload is provided for callers that amortize worker-thread
+// creation across many runs (the benchmark harness does).
+#pragma once
+
+#include "graph/graph.hpp"
+#include "sssp/common.hpp"
+#include "support/thread_team.hpp"
+
+namespace wasp {
+
+/// Runs the algorithm selected by `options.algo` on an internally created
+/// thread team of `options.threads` workers.
+SsspResult run_sssp(const Graph& g, VertexId source, const SsspOptions& options);
+
+/// Same, on a caller-provided team (team.size() overrides options.threads).
+SsspResult run_sssp(const Graph& g, VertexId source, const SsspOptions& options,
+                    ThreadTeam& team);
+
+}  // namespace wasp

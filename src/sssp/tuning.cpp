@@ -1,0 +1,48 @@
+#include "sssp/tuning.hpp"
+
+#include <algorithm>
+
+namespace wasp {
+
+GraphProfile profile_graph(const Graph& g) {
+  GraphProfile p;
+  const VertexId n = g.num_vertices();
+  if (n == 0) return p;
+  for (VertexId v = 0; v < n; ++v)
+    p.max_degree = std::max(p.max_degree, g.out_degree(v));
+  p.avg_degree = static_cast<double>(g.num_edges()) / static_cast<double>(n);
+  p.max_weight = std::max<Weight>(g.max_weight(), 1);
+  p.low_degree = p.avg_degree < 4.5;
+  p.skewed = p.max_degree > 16.0 * std::max(p.avg_degree, 1.0);
+  return p;
+}
+
+Weight suggest_delta(Algorithm algo, const GraphProfile& profile) {
+  const auto coarse = [&](std::uint64_t factor) {
+    const std::uint64_t d = static_cast<std::uint64_t>(profile.max_weight) * factor;
+    return static_cast<Weight>(std::min<std::uint64_t>(d, 1u << 30));
+  };
+  switch (algo) {
+    case Algorithm::kDijkstra:
+    case Algorithm::kBellmanFord:
+    case Algorithm::kMqDijkstra:
+    case Algorithm::kSmqDijkstra:
+      return 1;
+    case Algorithm::kWasp:
+      // Figure 4 / §5: Δ=1 is reliably good except when parallelism itself
+      // is scarce (low-degree graphs) — there, coarsen.
+      return profile.low_degree ? coarse(4) : 1;
+    case Algorithm::kObim:
+      return profile.low_degree ? coarse(16) : 16;
+    default:
+      // Synchronous steppers: buckets must hold enough parallel work to
+      // amortize a barrier.
+      return profile.low_degree ? coarse(32) : 64;
+  }
+}
+
+Weight suggest_delta(Algorithm algo, const Graph& g) {
+  return suggest_delta(algo, profile_graph(g));
+}
+
+}  // namespace wasp

@@ -1,0 +1,38 @@
+// Delta selection heuristics.
+//
+// The paper stresses that a good Δ "is impossible to know without executing
+// the algorithm" and that this limits Δ-stepping's practicality — while for
+// Wasp, Δ=1 on skewed-degree graphs is a safe estimate within ~20% of
+// optimal (§5, Figure 4). This module encodes that observation as a cheap
+// structural heuristic, so library users get a sensible default without a
+// tuning sweep, plus the sweep itself for when they want optimality.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "sssp/common.hpp"
+
+namespace wasp {
+
+/// Structural signals the heuristic keys off.
+struct GraphProfile {
+  double avg_degree = 0.0;
+  std::uint32_t max_degree = 0;
+  Weight max_weight = 0;
+  bool low_degree = false;  ///< road/kmer-like: avg degree below ~4.5
+  bool skewed = false;      ///< max degree far above average
+};
+
+/// One O(|V| + sampling) pass over the graph.
+GraphProfile profile_graph(const Graph& g);
+
+/// Suggested Δ for the given algorithm on this graph:
+///  * Wasp: 1 on skewed/small-diameter graphs (the paper's safe estimate),
+///    coarse (~4 * max weight) on low-degree graphs where parallelism must
+///    be created by coarsening;
+///  * synchronous steppers: coarse buckets everywhere, coarser still on
+///    low-degree graphs;
+///  * delta-free algorithms (Dijkstra, Bellman-Ford, MQ/SMQ): 1.
+Weight suggest_delta(Algorithm algo, const Graph& g);
+Weight suggest_delta(Algorithm algo, const GraphProfile& profile);
+
+}  // namespace wasp

@@ -1,0 +1,534 @@
+#include "sssp/wasp.hpp"
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+
+#include "concurrent/chase_lev_deque.hpp"
+#include "concurrent/chunk.hpp"
+#include "graph/algorithms.hpp"
+#include "support/padded.hpp"
+#include "support/random.hpp"
+#include "support/timer.hpp"
+
+namespace wasp {
+
+namespace {
+
+/// `curr` value of a thread that is out of local work and sweeping victims.
+/// Distinct from kInfPriority so a thief holding a freshly stolen chunk can
+/// never be mistaken for an idle thread by the termination scan.
+constexpr std::uint64_t kStealingPriority = kInfPriority - 1;
+
+/// Sentinel neighbour range meaning "the whole adjacency list".
+constexpr std::uint32_t kFullRange = ~std::uint32_t{0};
+
+/// Thread-local bucket list: level -> linked stack of chunks, the head chunk
+/// partially filled. Grown by power-of-two rounding (§4.3).
+template <typename ChunkT>
+struct BucketList {
+  std::vector<ChunkT*> head;
+  std::uint64_t min_hint = kInfPriority;
+
+  ChunkT*& at(std::uint64_t level) {
+    if (level >= head.size()) {
+      std::size_t cap = head.empty() ? 64 : head.size();
+      while (cap <= level) cap *= 2;
+      head.resize(cap, nullptr);
+    }
+    return head[level];
+  }
+
+  /// Smallest level holding vertices; updates the scan hint.
+  std::uint64_t min_non_empty() {
+    for (std::uint64_t l = min_hint; l < head.size(); ++l) {
+      if (head[l] != nullptr) {
+        min_hint = l;
+        return l;
+      }
+    }
+    min_hint = kInfPriority;
+    return kInfPriority;
+  }
+};
+
+/// Everything shared between the worker lambdas of one run. Owns the deques
+/// so a finished worker's current bucket stays probeable by late thieves.
+/// Templated on the chunk type so the sensitivity bench can instantiate
+/// Wasp at several chunk capacities (the paper's default is 64, §4.3).
+template <typename ChunkT>
+struct WaspShared {
+  const Graph& graph;
+  AtomicDistances& dist;
+  Weight delta;
+  const WaspConfig& config;
+  const std::vector<std::uint8_t>* leaf;  // null when leaf pruning is off
+  std::vector<CachePadded<std::atomic<std::uint64_t>>> curr;
+  std::vector<std::unique_ptr<ChaseLevDeque<ChunkT*>>> deques;
+  VictimTiers tiers;
+  BasicChunkArena<ChunkT> arena;
+  std::vector<CachePadded<ThreadCounters>> counters;
+  /// Bumped whenever a thread enters a termination-mode steal sweep; the
+  /// double-scan termination check needs it to detect work migrating behind
+  /// a scan (see WaspWorker::terminate).
+  std::atomic<std::uint64_t> steal_epoch{0};
+
+  WaspShared(const Graph& g, AtomicDistances& d, Weight delta_,
+             const WaspConfig& cfg, const std::vector<std::uint8_t>* leaf_,
+             int p, const NumaTopology& topo, const std::vector<int>& cpu_of)
+      : graph(g), dist(d), delta(delta_), config(cfg), leaf(leaf_),
+        curr(static_cast<std::size_t>(p)), deques(static_cast<std::size_t>(p)),
+        tiers(topo, cpu_of), counters(static_cast<std::size_t>(p)) {
+    for (auto& c : curr) c.value.store(kInfPriority, std::memory_order_relaxed);
+    for (auto& d_ : deques) d_ = std::make_unique<ChaseLevDeque<ChunkT*>>();
+  }
+};
+
+/// Per-thread worker implementing Algorithms 1 and 2.
+template <typename ChunkT>
+class WaspWorker {
+ public:
+  WaspWorker(WaspShared<ChunkT>& shared, int tid)
+      : s_(shared), tid_(tid), pool_(shared.arena),
+        my_(shared.counters[static_cast<std::size_t>(tid)].value),
+        rng_(hash_mix(0xA5B5ULL + static_cast<std::uint64_t>(tid))),
+        deque_(shared.deques[static_cast<std::size_t>(tid)].get()) {
+    buffer_ = pool_.get();
+  }
+
+  /// Seeds the source vertex into this worker's current bucket (called on
+  /// one worker before run()).
+  void seed(VertexId source) {
+    buffer_->set_priority(0);
+    buffer_->push(source);
+    publish_curr(0);
+  }
+
+  /// The main work loop (Algorithm 1, work_stealing_shortest_path).
+  void run() {
+    for (;;) {
+      drain_current_bucket();
+
+      // Current bucket is empty: try to find higher-priority work elsewhere
+      // before touching lower-priority local buckets (Algorithm 1, L22).
+      const std::uint64_t next = buckets_.min_non_empty();
+      if (try_steal_and_process(next)) continue;
+
+      if (next != kInfPriority) {
+        // Advance to the next local bucket (L29-32): move its chunks into
+        // the work-stealing deque.
+        publish_curr(next);
+        pour_bucket(next);
+        continue;
+      }
+      if (terminate()) return;
+    }
+  }
+
+ private:
+  // --- current bucket ----------------------------------------------------
+
+  void publish_curr(std::uint64_t level) {
+    curr_cache_ = level;
+    s_.curr[static_cast<std::size_t>(tid_)].value.store(
+        level, std::memory_order_release);
+  }
+
+  /// Pops one vertex from the buffer chunk, refilling it from the deque
+  /// when empty (popped chunks are recycled as the buffer, §4.3).
+  bool pop_current(VertexId& u, std::uint64_t& prio, std::uint32_t& begin,
+                   std::uint32_t& end) {
+    if (buffer_->empty()) {
+      ChunkT* refill = deque_->pop_bottom();
+      if (refill == nullptr) return false;
+      pool_.put(buffer_);
+      buffer_ = refill;
+    }
+    prio = buffer_->priority();
+    if (buffer_->is_range()) {
+      begin = buffer_->range_begin();
+      end = buffer_->range_end();
+      u = buffer_->pop();
+      buffer_->reset();  // range chunks hold exactly one vertex
+    } else {
+      begin = 0;
+      end = kFullRange;
+      u = buffer_->pop();
+    }
+    return true;
+  }
+
+  void drain_current_bucket() {
+    VertexId u;
+    std::uint64_t prio;
+    std::uint32_t begin, end;
+    while (pop_current(u, prio, begin, end)) {
+      if (is_stale(u, prio)) {
+        ++my_.stale_skips;
+        continue;
+      }
+      process_neighborhood(u, prio, begin, end);
+    }
+  }
+
+  /// Algorithm 1 line 20: skip entries superseded by a better path.
+  [[nodiscard]] bool is_stale(VertexId u, std::uint64_t prio) const {
+    return static_cast<std::uint64_t>(s_.dist.load(u)) <
+           prio * static_cast<std::uint64_t>(s_.delta);
+  }
+
+  // --- pushing updates ---------------------------------------------------
+
+  /// Algorithm 1, push_to_buckets: current-level vertices go to the current
+  /// bucket (buffer -> deque), others to the thread-local bucket list.
+  void push_to_buckets(VertexId v, std::uint64_t level) {
+    if (level == curr_cache_) {
+      if (buffer_->full()) {
+        deque_->push_bottom(buffer_);
+        buffer_ = pool_.get();
+      }
+      if (buffer_->empty()) buffer_->set_priority(level);
+      buffer_->push(v);
+      return;
+    }
+    ChunkT*& head = buckets_.at(level);
+    if (head == nullptr || head->full()) {
+      ChunkT* fresh = pool_.get();
+      fresh->set_priority(level);
+      fresh->next = head;
+      head = fresh;
+    }
+    head->push(v);
+    buckets_.min_hint = std::min(buckets_.min_hint, level);
+  }
+
+  /// Pushes a pre-built chunk (range chunks from neighborhood
+  /// decomposition). Current-level chunks go straight to the deque so other
+  /// threads can steal slices of the big neighborhood immediately.
+  void push_chunk(ChunkT* c, std::uint64_t level) {
+    c->set_priority(level);
+    if (level == curr_cache_) {
+      deque_->push_bottom(c);
+      return;
+    }
+    ChunkT*& head = buckets_.at(level);
+    c->next = head;
+    head = c;
+    buckets_.min_hint = std::min(buckets_.min_hint, level);
+  }
+
+  // --- relaxation (Algorithm 1 lines 1-15 + §4.4 optimizations) ----------
+
+  void process_neighborhood(VertexId u, std::uint64_t prio, std::uint32_t begin,
+                            std::uint32_t end) {
+    const Graph& g = s_.graph;
+    const std::uint32_t degree = g.out_degree(u);
+    if (end == kFullRange) {
+      end = degree;
+      // Neighborhood decomposition (§4.4): split a huge adjacency into
+      // theta-sized range chunks; we keep the first range, the rest become
+      // stealable single-vertex chunks at the same priority.
+      if (s_.config.neighborhood_decomposition && degree > s_.config.theta) {
+        for (std::uint32_t lo = s_.config.theta; lo < degree;
+             lo += s_.config.theta) {
+          ChunkT* slice = pool_.get();
+          slice->make_range(u, lo, std::min(lo + s_.config.theta, degree));
+          push_chunk(slice, prio);
+        }
+        end = s_.config.theta;
+      }
+    }
+
+    Distance du = s_.dist.load(u);
+
+    // Bidirectional relaxation (§4.4): for small undirected neighborhoods,
+    // pull a potentially better distance for u before pushing.
+    if (s_.config.bidirectional_relaxation && g.is_undirected() &&
+        degree <= 8 && begin == 0) {
+      Distance best = du;
+      for (const WEdge& e : g.out_neighbors(u)) {
+        ++my_.relaxations;
+        const Distance dn = s_.dist.load(e.dst);
+        if (dn != kInfDist && dn + e.w < best) best = dn + e.w;
+      }
+      if (best < du) {
+        if (s_.dist.relax_to(u, best)) ++my_.updates;
+        du = s_.dist.load(u);
+      }
+    }
+
+    ++my_.vertices_processed;
+    for (const WEdge& e : g.out_neighbors(u, begin, end)) {
+      ++my_.relaxations;
+      const Distance nd = du + e.w;
+      if (s_.dist.relax_to(e.dst, nd)) {
+        ++my_.updates;
+        // Leaf pruning (§4.4): a shortest-path-tree leaf can never improve
+        // another vertex; update its distance but never schedule it.
+        if (s_.leaf != nullptr && (*s_.leaf)[e.dst]) continue;
+        push_to_buckets(e.dst, static_cast<std::uint64_t>(nd) / s_.delta);
+      }
+    }
+  }
+
+  // --- work stealing (Algorithm 2 + §4.2 ablation policies) --------------
+
+  /// Attempts to steal chunks with priority at least as good as `next`.
+  /// On success, publishes curr = best stolen priority, processes all stolen
+  /// chunks immediately (stolen chunks are never re-exposed, §4.1), and
+  /// returns true.
+  bool try_steal_and_process(std::uint64_t next) {
+    ChunkT* stolen[64];
+    int count = 0;
+    Timer steal_timer;
+    switch (s_.config.steal_policy) {
+      case StealPolicy::kPriorityNuma:
+        count = steal_priority_numa(next, stolen);
+        break;
+      case StealPolicy::kRandom:
+        count = steal_random(stolen);
+        break;
+      case StealPolicy::kTwoChoice:
+        count = steal_two_choice(stolen);
+        break;
+    }
+    my_.steal_ns += steal_timer.nanoseconds();
+    if (count == 0) return false;
+
+    std::uint64_t best = kInfPriority;
+    for (int i = 0; i < count; ++i)
+      best = std::min(best, stolen[i]->priority());
+    publish_curr(best);  // Algorithm 1 line 23
+
+    for (int i = 0; i < count; ++i) {
+      ChunkT* c = stolen[i];
+      const std::uint64_t prio = c->priority();
+      const bool range = c->is_range();
+      const std::uint32_t rb = c->range_begin();
+      const std::uint32_t re = c->range_end();
+      while (!c->empty()) {
+        const VertexId u = c->pop();
+        if (is_stale(u, prio)) {
+          ++my_.stale_skips;
+          continue;
+        }
+        if (range) {
+          process_neighborhood(u, prio, rb, re);
+        } else {
+          process_neighborhood(u, prio, 0, kFullRange);
+        }
+      }
+      c->reset();
+      pool_.put(c);  // stolen chunks are recycled by the thief (§4.3)
+    }
+    return true;
+  }
+
+  /// The paper's protocol (Algorithm 2): walk NUMA tiers nearest-first;
+  /// within a tier, steal one chunk from every victim whose current
+  /// priority level is at least as good as our best local bucket; stop at
+  /// the first tier that yields anything.
+  int steal_priority_numa(std::uint64_t next, ChunkT** out) {
+    int count = 0;
+    for (const auto& tier : s_.tiers.tiers(tid_)) {
+      for (const int t : tier) {
+        ++my_.steal_attempts;
+        const std::uint64_t victim_curr =
+            s_.curr[static_cast<std::size_t>(t)].value.load(
+                std::memory_order_acquire);
+        if (victim_curr > next) continue;
+        ChunkT* c = s_.deques[static_cast<std::size_t>(t)]->steal();
+        if (c != nullptr) {
+          ++my_.steals;
+          out[count++] = c;
+          if (count == 64) return count;
+        }
+      }
+      if (count > 0) return count;
+    }
+    return count;
+  }
+
+  /// Traditional random-victim stealing (§4.2 ablation): up to
+  /// steal_retries+1 random victims, taking any available chunk.
+  int steal_random(ChunkT** out) {
+    const int p = s_.tiers.num_threads();
+    if (p <= 1) return 0;
+    for (int attempt = 0; attempt <= s_.config.steal_retries; ++attempt) {
+      int t = static_cast<int>(rng_.next_below(static_cast<std::uint64_t>(p - 1)));
+      if (t >= tid_) ++t;
+      ++my_.steal_attempts;
+      ChunkT* c = s_.deques[static_cast<std::size_t>(t)]->steal();
+      if (c != nullptr) {
+        ++my_.steals;
+        out[0] = c;
+        return 1;
+      }
+    }
+    return 0;
+  }
+
+  /// MultiQueue-like two-choice stealing (§4.2 ablation): sample two
+  /// victims, steal from the one with the better current priority.
+  int steal_two_choice(ChunkT** out) {
+    const int p = s_.tiers.num_threads();
+    if (p <= 1) return 0;
+    for (int attempt = 0; attempt <= s_.config.steal_retries; ++attempt) {
+      int a = static_cast<int>(rng_.next_below(static_cast<std::uint64_t>(p - 1)));
+      if (a >= tid_) ++a;
+      int b = static_cast<int>(rng_.next_below(static_cast<std::uint64_t>(p - 1)));
+      if (b >= tid_) ++b;
+      const std::uint64_t ca =
+          s_.curr[static_cast<std::size_t>(a)].value.load(std::memory_order_acquire);
+      const std::uint64_t cb =
+          s_.curr[static_cast<std::size_t>(b)].value.load(std::memory_order_acquire);
+      const int t = ca <= cb ? a : b;
+      ++my_.steal_attempts;
+      ChunkT* c = s_.deques[static_cast<std::size_t>(t)]->steal();
+      if (c != nullptr) {
+        ++my_.steals;
+        out[0] = c;
+        return 1;
+      }
+    }
+    return 0;
+  }
+
+  // --- termination (§4.3) -------------------------------------------------
+
+  /// Called with no local work anywhere. Returns true when the whole
+  /// computation is finished.
+  ///
+  /// Correctness argument: work always resides with a thread whose `curr`
+  /// is not kInfPriority (workers publish a real level before exposing or
+  /// processing work, and kStealingPriority before sweeping). The only way
+  /// work crosses from a not-yet-scanned thread to an already-scanned one
+  /// is a termination-mode steal, and every such sweep increments
+  /// steal_epoch *before* it can steal. Hence "epoch stable across a scan
+  /// that saw every thread idle" proves no work existed during the scan.
+  bool terminate() {
+    const int p = s_.tiers.num_threads();
+    bool sweep = true;  // sweep on entry; afterwards only when work is seen
+    for (;;) {
+      if (sweep) {
+        s_.steal_epoch.fetch_add(1, std::memory_order_acq_rel);
+        publish_curr(kStealingPriority);
+        if (try_steal_and_process(kInfPriority)) return false;
+        publish_curr(kInfPriority);
+      }
+
+      Timer idle_timer;
+      const std::uint64_t epoch_before =
+          s_.steal_epoch.load(std::memory_order_acquire);
+      bool all_idle = true;
+      bool someone_working = false;
+      for (int t = 0; t < p; ++t) {
+        const std::uint64_t c = s_.curr[static_cast<std::size_t>(t)].value.load(
+            std::memory_order_acquire);
+        if (c != kInfPriority) all_idle = false;
+        if (c < kStealingPriority) someone_working = true;
+      }
+      const std::uint64_t epoch_after =
+          s_.steal_epoch.load(std::memory_order_acquire);
+
+      if (all_idle && epoch_before == epoch_after) {
+        my_.idle_ns += idle_timer.nanoseconds();
+        return true;
+      }
+      // Re-sweep only when a thread holds real-priority work; if only
+      // thieves remain, stay idle and let the epoch settle.
+      sweep = someone_working;
+      std::this_thread::yield();
+      my_.idle_ns += idle_timer.nanoseconds();
+    }
+  }
+
+  // --- bucket advance ----------------------------------------------------
+
+  /// Algorithm 1 line 32: moves all chunks of bucket `level` into the
+  /// current-bucket deque.
+  void pour_bucket(std::uint64_t level) {
+    ChunkT* c = buckets_.head[level];
+    buckets_.head[level] = nullptr;
+    while (c != nullptr) {
+      ChunkT* next_chunk = c->next;
+      c->next = nullptr;
+      deque_->push_bottom(c);
+      c = next_chunk;
+    }
+  }
+
+  WaspShared<ChunkT>& s_;
+  const int tid_;
+  BasicChunkPool<ChunkT> pool_;
+  ThreadCounters& my_;
+  Xoshiro256 rng_;
+  ChaseLevDeque<ChunkT*>* deque_;
+  ChunkT* buffer_ = nullptr;
+  BucketList<ChunkT> buckets_;
+  std::uint64_t curr_cache_ = kInfPriority;
+};
+
+}  // namespace
+
+template <typename ChunkT>
+SsspResult wasp_sssp_impl(const Graph& g, VertexId source, Weight delta,
+                          const WaspConfig& config, ThreadTeam& team) {
+  if (delta == 0) delta = 1;
+  const int p = team.size();
+
+  std::vector<std::uint8_t> leaf_bitmap;
+  if (config.leaf_pruning) leaf_bitmap = compute_leaf_bitmap(g);
+
+  std::shared_ptr<const NumaTopology> topo = config.topology;
+  if (!topo) topo = std::make_shared<NumaTopology>(NumaTopology::detect());
+  std::vector<int> cpu_of(static_cast<std::size_t>(p));
+  for (int t = 0; t < p; ++t)
+    cpu_of[static_cast<std::size_t>(t)] = team.cpu_of(t) % topo->num_cpus();
+
+  AtomicDistances dist(g.num_vertices());
+  dist.store(source, 0);
+
+  WaspShared<ChunkT> shared(g, dist, delta, config,
+                            config.leaf_pruning ? &leaf_bitmap : nullptr, p,
+                            *topo, cpu_of);
+  // Pre-publish worker 0 as busy at level 0 so no other worker can pass the
+  // termination check before the source is seeded.
+  shared.curr[0].value.store(0, std::memory_order_release);
+
+  Timer timer;
+  team.run([&](int tid) {
+    WaspWorker<ChunkT> worker(shared, tid);
+    if (tid == 0) worker.seed(source);
+    worker.run();
+  });
+
+  SsspResult result;
+  result.stats.seconds = timer.seconds();
+  accumulate_counters(shared.counters, result.stats);
+  result.dist = dist.snapshot();
+  return result;
+}
+
+SsspResult wasp_sssp(const Graph& g, VertexId source, Weight delta,
+                     const WaspConfig& config, ThreadTeam& team) {
+  // The chunk capacity is a compile-time property (paper §4.3: "chosen at
+  // compilation time"); dispatch to the instantiations we ship.
+  switch (config.chunk_capacity) {
+    case 16:
+      return wasp_sssp_impl<BasicChunk<16>>(g, source, delta, config, team);
+    case 32:
+      return wasp_sssp_impl<BasicChunk<32>>(g, source, delta, config, team);
+    case 64:
+      return wasp_sssp_impl<BasicChunk<64>>(g, source, delta, config, team);
+    case 128:
+      return wasp_sssp_impl<BasicChunk<128>>(g, source, delta, config, team);
+    case 256:
+      return wasp_sssp_impl<BasicChunk<256>>(g, source, delta, config, team);
+    default:
+      throw std::invalid_argument(
+          "wasp_sssp: chunk_capacity must be one of 16, 32, 64, 128, 256");
+  }
+}
+
+}  // namespace wasp

@@ -1,0 +1,41 @@
+// Wasp — Work-Stealing Shortest Path (the paper's contribution, §4).
+//
+// Architecture per thread (Figure 3):
+//  * a list of thread-local buckets, one per coarsened priority level,
+//    implemented as linked stacks of chunks (cheap, unsynchronized),
+//  * the *current bucket*: a lock-free Chase-Lev deque of chunks holding the
+//    priority level the thread is working on, stealable by other threads,
+//  * a single thread-local buffer chunk batching both pushes and pops into
+//    the current bucket (§4.3: one shared buffer chunk beats split
+//    push/pop chunks),
+//  * a shared atomic `curr` publishing the thread's current priority level.
+//
+// Execution (Algorithm 1) is fully asynchronous: a thread drains its current
+// bucket, then *steals higher-priority chunks* (Algorithm 2: victims walked
+// in NUMA tiers, stealing only from threads whose `curr` is at least as good
+// as the best local bucket), and only when no better work exists anywhere
+// does it advance to its next local bucket — this is the "priority drifting
+// only when high-priority work is not available" principle.
+//
+// Optimizations (§4.4): neighborhood decomposition (high-degree adjacency
+// split into stealable range chunks), leaf pruning (precomputed bitmap), and
+// bidirectional relaxation (pull-before-push for small undirected
+// neighborhoods).
+//
+// Termination: a thread with no work publishes curr = infinity and scans all
+// `curr` values (§4.3). We close the classic steal/terminate race with an
+// intermediate kStealingPriority state: a thief is never INF while it holds
+// a freshly stolen chunk, so "all threads INF" really means no work exists.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "sssp/common.hpp"
+#include "support/thread_team.hpp"
+
+namespace wasp {
+
+/// Runs Wasp with bucket width `delta` and the given configuration.
+SsspResult wasp_sssp(const Graph& g, VertexId source, Weight delta,
+                     const WaspConfig& config, ThreadTeam& team);
+
+}  // namespace wasp

@@ -1,0 +1,116 @@
+#include "support/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace wasp {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void ArgParser::add_int(const std::string& name, std::int64_t default_value,
+                        const std::string& help) {
+  options_[name] = Option{Kind::kInt, std::to_string(default_value),
+                          std::to_string(default_value), help};
+  order_.push_back(name);
+}
+
+void ArgParser::add_double(const std::string& name, double default_value,
+                           const std::string& help) {
+  std::ostringstream os;
+  os << default_value;
+  options_[name] = Option{Kind::kDouble, os.str(), os.str(), help};
+  order_.push_back(name);
+}
+
+void ArgParser::add_string(const std::string& name,
+                           const std::string& default_value,
+                           const std::string& help) {
+  options_[name] = Option{Kind::kString, default_value, default_value, help};
+  order_.push_back(name);
+}
+
+void ArgParser::add_flag(const std::string& name, const std::string& help) {
+  options_[name] = Option{Kind::kFlag, "0", "0", help};
+  order_.push_back(name);
+}
+
+void ArgParser::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      std::exit(0);
+    }
+    if (arg.rfind("--", 0) != 0) fail("unexpected positional argument: " + arg);
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    const auto it = options_.find(arg);
+    if (it == options_.end()) fail("unknown option --" + arg);
+    Option& opt = it->second;
+    if (opt.kind == Kind::kFlag) {
+      opt.value = has_value ? value : "1";
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc) fail("option --" + arg + " needs a value");
+      value = argv[++i];
+    }
+    opt.value = value;
+  }
+}
+
+const ArgParser::Option& ArgParser::find(const std::string& name,
+                                         Kind kind) const {
+  const auto it = options_.find(name);
+  if (it == options_.end() || it->second.kind != kind)
+    throw std::logic_error("ArgParser: option not registered: " + name);
+  return it->second;
+}
+
+std::int64_t ArgParser::get_int(const std::string& name) const {
+  return std::stoll(find(name, Kind::kInt).value);
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  return std::stod(find(name, Kind::kDouble).value);
+}
+
+const std::string& ArgParser::get_string(const std::string& name) const {
+  return find(name, Kind::kString).value;
+}
+
+bool ArgParser::get_flag(const std::string& name) const {
+  return find(name, Kind::kFlag).value != "0";
+}
+
+std::string ArgParser::usage() const {
+  std::ostringstream os;
+  os << program_ << " — " << description_ << "\n\nOptions:\n";
+  for (const auto& name : order_) {
+    const Option& opt = options_.at(name);
+    os << "  --" << name;
+    if (opt.kind != Kind::kFlag) os << " <value>";
+    os << "\n      " << opt.help;
+    if (opt.kind != Kind::kFlag) os << " (default: " << opt.default_value << ")";
+    os << "\n";
+  }
+  os << "  --help\n      show this message\n";
+  return os.str();
+}
+
+void ArgParser::fail(const std::string& message) const {
+  std::fprintf(stderr, "%s: %s\n\n%s", program_.c_str(), message.c_str(),
+               usage().c_str());
+  std::exit(2);
+}
+
+}  // namespace wasp

@@ -1,0 +1,61 @@
+// Minimal command-line option parser used by the examples and the benchmark
+// harness. Supports `--name value`, `--name=value`, and boolean `--flag`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace wasp {
+
+/// Declarative option parser. Register options, then parse(argc, argv).
+///
+///   ArgParser args("fig05_heatmap", "Reproduces the Figure 5 heatmap");
+///   args.add_int("threads", 8, "worker threads");
+///   args.add_flag("verbose", "chatty output");
+///   args.parse(argc, argv);            // exits with usage on --help / error
+///   int t = args.get_int("threads");
+class ArgParser {
+ public:
+  ArgParser(std::string program, std::string description);
+
+  void add_int(const std::string& name, std::int64_t default_value,
+               const std::string& help);
+  void add_double(const std::string& name, double default_value,
+                  const std::string& help);
+  void add_string(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Parses argv. On `--help` prints usage and exits(0); on an unknown or
+  /// malformed option prints usage and exits(2).
+  void parse(int argc, char** argv);
+
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] const std::string& get_string(const std::string& name) const;
+  [[nodiscard]] bool get_flag(const std::string& name) const;
+
+  /// Usage text (also printed by --help).
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  enum class Kind { kInt, kDouble, kString, kFlag };
+  struct Option {
+    Kind kind;
+    std::string value;  // textual; converted on get
+    std::string default_value;
+    std::string help;
+  };
+
+  const Option& find(const std::string& name, Kind kind) const;
+  [[noreturn]] void fail(const std::string& message) const;
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace wasp

@@ -1,0 +1,154 @@
+#include "support/numa.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "support/thread_team.hpp"
+
+namespace wasp {
+
+namespace {
+
+// Parses a sysfs cpulist like "0-3,8,10-11" into CPU ids.
+std::vector<int> parse_cpulist(const std::string& text) {
+  std::vector<int> cpus;
+  std::stringstream ss(text);
+  std::string part;
+  while (std::getline(ss, part, ',')) {
+    if (part.empty()) continue;
+    const auto dash = part.find('-');
+    if (dash == std::string::npos) {
+      cpus.push_back(std::stoi(part));
+    } else {
+      const int lo = std::stoi(part.substr(0, dash));
+      const int hi = std::stoi(part.substr(dash + 1));
+      for (int c = lo; c <= hi; ++c) cpus.push_back(c);
+    }
+  }
+  return cpus;
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::getline(in, out);
+  return true;
+}
+
+}  // namespace
+
+NumaTopology NumaTopology::flat(int num_cpus) {
+  NumaTopology topo;
+  topo.num_cpus_ = std::max(num_cpus, 1);
+  topo.node_cpus_.resize(1);
+  topo.node_of_cpu_.assign(static_cast<std::size_t>(topo.num_cpus_), 0);
+  for (int c = 0; c < topo.num_cpus_; ++c) topo.node_cpus_[0].push_back(c);
+  topo.distance_ = {10};
+  return topo;
+}
+
+NumaTopology NumaTopology::synthetic(int sockets, int nodes_per_socket,
+                                     int cpus_per_node) {
+  NumaTopology topo;
+  const int nodes = sockets * nodes_per_socket;
+  topo.num_cpus_ = nodes * cpus_per_node;
+  topo.node_cpus_.resize(static_cast<std::size_t>(nodes));
+  topo.node_of_cpu_.resize(static_cast<std::size_t>(topo.num_cpus_));
+  int cpu = 0;
+  for (int n = 0; n < nodes; ++n) {
+    for (int k = 0; k < cpus_per_node; ++k, ++cpu) {
+      topo.node_cpus_[static_cast<std::size_t>(n)].push_back(cpu);
+      topo.node_of_cpu_[static_cast<std::size_t>(cpu)] = n;
+    }
+  }
+  topo.distance_.resize(static_cast<std::size_t>(nodes) * static_cast<std::size_t>(nodes));
+  for (int a = 0; a < nodes; ++a) {
+    for (int b = 0; b < nodes; ++b) {
+      int d = 10;
+      if (a != b) d = (a / nodes_per_socket == b / nodes_per_socket) ? 12 : 32;
+      topo.distance_[static_cast<std::size_t>(a) * static_cast<std::size_t>(nodes) +
+                     static_cast<std::size_t>(b)] = d;
+    }
+  }
+  return topo;
+}
+
+NumaTopology NumaTopology::detect() {
+  return detect_from("/sys/devices/system/node");
+}
+
+NumaTopology NumaTopology::detect_from(const std::string& base) {
+  std::vector<std::vector<int>> node_cpus;
+  for (int n = 0;; ++n) {
+    std::string cpulist;
+    if (!read_file(base + "/node" + std::to_string(n) + "/cpulist", cpulist)) break;
+    node_cpus.push_back(parse_cpulist(cpulist));
+  }
+  if (node_cpus.empty()) return flat(hardware_threads());
+
+  NumaTopology topo;
+  topo.node_cpus_ = std::move(node_cpus);
+  const int nodes = topo.num_nodes();
+  int max_cpu = -1;
+  for (const auto& cpus : topo.node_cpus_)
+    for (int c : cpus) max_cpu = std::max(max_cpu, c);
+  topo.num_cpus_ = max_cpu + 1;
+  if (topo.num_cpus_ <= 0) return flat(hardware_threads());
+
+  topo.node_of_cpu_.assign(static_cast<std::size_t>(topo.num_cpus_), 0);
+  for (int n = 0; n < nodes; ++n)
+    for (int c : topo.node_cpus_[static_cast<std::size_t>(n)])
+      topo.node_of_cpu_[static_cast<std::size_t>(c)] = n;
+
+  topo.distance_.assign(static_cast<std::size_t>(nodes) * static_cast<std::size_t>(nodes), 10);
+  for (int n = 0; n < nodes; ++n) {
+    std::string line;
+    if (!read_file(base + "/node" + std::to_string(n) + "/distance", line)) continue;
+    std::stringstream ss(line);
+    for (int m = 0; m < nodes; ++m) {
+      int d = 10;
+      if (!(ss >> d)) break;
+      topo.distance_[static_cast<std::size_t>(n) * static_cast<std::size_t>(nodes) +
+                     static_cast<std::size_t>(m)] = d;
+    }
+  }
+  return topo;
+}
+
+std::string NumaTopology::describe() const {
+  std::ostringstream os;
+  os << num_nodes() << " NUMA node(s), " << num_cpus() << " CPU(s)";
+  return os.str();
+}
+
+VictimTiers::VictimTiers(const NumaTopology& topo,
+                         const std::vector<int>& cpu_of_thread) {
+  const int p = static_cast<int>(cpu_of_thread.size());
+  tiers_.resize(static_cast<std::size_t>(p));
+  for (int t = 0; t < p; ++t) {
+    const int my_node = topo.node_of_cpu(cpu_of_thread[static_cast<std::size_t>(t)]);
+    // Group other threads by distance from the thief's node.
+    std::map<int, std::vector<int>> by_distance;
+    for (int u = 0; u < p; ++u) {
+      if (u == t) continue;
+      const int node = topo.node_of_cpu(cpu_of_thread[static_cast<std::size_t>(u)]);
+      by_distance[topo.distance(my_node, node)].push_back(u);
+    }
+    auto& my_tiers = tiers_[static_cast<std::size_t>(t)];
+    for (auto& [dist, victims] : by_distance) {
+      // Rotate by thief id so colocated thieves probe distinct victims first.
+      if (!victims.empty()) {
+        const std::size_t shift =
+            static_cast<std::size_t>(t) % victims.size();
+        std::rotate(victims.begin(),
+                    victims.begin() + static_cast<std::ptrdiff_t>(shift),
+                    victims.end());
+      }
+      my_tiers.push_back(std::move(victims));
+    }
+  }
+}
+
+}  // namespace wasp

@@ -1,0 +1,94 @@
+// NUMA topology discovery and victim-tier computation.
+//
+// Wasp's work-stealing protocol (paper §4.2, Algorithm 2) walks victims in
+// tiers ordered by NUMA distance from the thief.  This module provides:
+//
+//  * NumaTopology — node/CPU layout plus the node distance matrix, read from
+//    /sys/devices/system/node at runtime, or constructed synthetically.
+//    Synthetic topologies let tests and benches exercise multi-tier stealing
+//    on machines (like CI containers) that expose a single node.
+//  * VictimTiers — for a concrete thread->CPU placement, the per-thief list
+//    of victim thread ids grouped by increasing NUMA distance.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wasp {
+
+/// Immutable description of the machine's NUMA layout.
+class NumaTopology {
+ public:
+  /// Reads the topology from sysfs; falls back to flat() on any failure.
+  static NumaTopology detect();
+
+  /// Reads a sysfs-shaped directory tree (node<i>/cpulist, node<i>/distance)
+  /// rooted at `base`. Used by detect() with /sys/devices/system/node and by
+  /// tests with synthetic trees. Falls back to flat() when `base` has no
+  /// node0.
+  static NumaTopology detect_from(const std::string& base);
+
+  /// Single-node topology with `num_cpus` CPUs (distance matrix = {10}).
+  static NumaTopology flat(int num_cpus);
+
+  /// Synthetic topology: `sockets` sockets, `nodes_per_socket` NUMA nodes
+  /// each, `cpus_per_node` CPUs per node. Distances: 10 within a node, 12
+  /// across nodes of one socket, 32 across sockets — the shape of the
+  /// paper's EPYC machine.
+  static NumaTopology synthetic(int sockets, int nodes_per_socket,
+                                int cpus_per_node);
+
+  [[nodiscard]] int num_nodes() const { return static_cast<int>(node_cpus_.size()); }
+  [[nodiscard]] int num_cpus() const { return num_cpus_; }
+
+  /// NUMA node owning `cpu`.
+  [[nodiscard]] int node_of_cpu(int cpu) const {
+    return node_of_cpu_[static_cast<std::size_t>(cpu)];
+  }
+
+  /// ACPI-style distance between two nodes (10 = local).
+  [[nodiscard]] int distance(int node_a, int node_b) const {
+    return distance_[static_cast<std::size_t>(node_a) *
+                         static_cast<std::size_t>(num_nodes()) +
+                     static_cast<std::size_t>(node_b)];
+  }
+
+  /// CPUs belonging to `node`.
+  [[nodiscard]] const std::vector<int>& cpus_of_node(int node) const {
+    return node_cpus_[static_cast<std::size_t>(node)];
+  }
+
+  /// Human-readable summary (for logs / bench headers).
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  NumaTopology() = default;
+
+  int num_cpus_ = 0;
+  std::vector<std::vector<int>> node_cpus_;  // node -> cpu list
+  std::vector<int> node_of_cpu_;             // cpu -> node
+  std::vector<int> distance_;                // row-major num_nodes^2
+};
+
+/// Per-thief victim ordering: victim thread ids grouped into tiers of
+/// strictly increasing NUMA distance. Tier 0 contains same-node threads,
+/// and so on. Within a tier, victims are rotated per thief so that thieves
+/// on the same node do not all probe the same victim first.
+class VictimTiers {
+ public:
+  /// `cpu_of_thread[t]` is the CPU thread t runs on (see ThreadTeam::cpu_of).
+  VictimTiers(const NumaTopology& topo, const std::vector<int>& cpu_of_thread);
+
+  /// Tiers for `thread`, nearest first. Each tier lists other thread ids.
+  [[nodiscard]] const std::vector<std::vector<int>>& tiers(int thread) const {
+    return tiers_[static_cast<std::size_t>(thread)];
+  }
+
+  [[nodiscard]] int num_threads() const { return static_cast<int>(tiers_.size()); }
+
+ private:
+  std::vector<std::vector<std::vector<int>>> tiers_;
+};
+
+}  // namespace wasp

@@ -1,0 +1,38 @@
+// Cache-line padded wrapper used to keep per-thread hot data (counters,
+// indices, flags) on private cache lines and avoid false sharing.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <utility>
+
+#include "support/types.hpp"
+
+namespace wasp {
+
+/// Wraps a T and pads it to a multiple of the cache-line size.
+///
+/// Use for elements of per-thread arrays that are written from different
+/// threads, e.g. `std::vector<CachePadded<std::atomic<uint64_t>>>`.
+template <typename T>
+struct alignas(kCacheLineSize) CachePadded {
+  T value{};
+
+  CachePadded() = default;
+
+  template <typename... Args>
+  explicit CachePadded(Args&&... args) : value(std::forward<Args>(args)...) {}
+
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+
+ private:
+  // Pad the tail so sizeof is a cache-line multiple even when T is small.
+  char pad_[(sizeof(T) % kCacheLineSize) == 0
+                ? kCacheLineSize
+                : kCacheLineSize - (sizeof(T) % kCacheLineSize)] = {};
+};
+
+}  // namespace wasp

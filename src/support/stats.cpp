@@ -1,0 +1,44 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace wasp {
+
+double arithmetic_mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) / static_cast<double>(xs.size());
+}
+
+double geometric_mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double x : xs) log_sum += std::log(x);
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double median(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  if (n % 2 == 1) return sorted[n / 2];
+  return 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+}
+
+double minimum(const std::vector<double>& xs) {
+  if (xs.empty()) return std::numeric_limits<double>::infinity();
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double stddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double mean = arithmetic_mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - mean) * (x - mean);
+  return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+}  // namespace wasp

@@ -1,0 +1,24 @@
+// Small statistics helpers for the benchmark harness (the paper aggregates
+// with the geometric mean throughout its evaluation).
+#pragma once
+
+#include <vector>
+
+namespace wasp {
+
+/// Arithmetic mean; 0 for an empty input.
+double arithmetic_mean(const std::vector<double>& xs);
+
+/// Geometric mean; 0 for an empty input. All inputs must be > 0.
+double geometric_mean(const std::vector<double>& xs);
+
+/// Median (average of the two middle elements for even sizes).
+double median(const std::vector<double>& xs);
+
+/// Minimum; +inf for an empty input.
+double minimum(const std::vector<double>& xs);
+
+/// Sample standard deviation; 0 for fewer than two elements.
+double stddev(const std::vector<double>& xs);
+
+}  // namespace wasp

@@ -1,0 +1,114 @@
+#include "support/thread_team.hpp"
+
+#include <pthread.h>
+#include <sched.h>
+
+#include <atomic>
+#include <stdexcept>
+
+namespace wasp {
+
+namespace {
+
+void try_pin_to_cpu(std::thread::native_handle_type handle, int cpu) {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  // Best-effort: pinning can fail in containers with restricted affinity
+  // masks; the team works correctly either way.
+  (void)pthread_setaffinity_np(handle, sizeof(set), &set);
+}
+
+}  // namespace
+
+int hardware_threads() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+ThreadTeam::ThreadTeam(int num_threads) : num_threads_(num_threads) {
+  if (num_threads < 1) throw std::invalid_argument("ThreadTeam: num_threads < 1");
+  const int ncpu = hardware_threads();
+  cpu_of_.resize(static_cast<std::size_t>(num_threads));
+  for (int t = 0; t < num_threads; ++t) cpu_of_[static_cast<std::size_t>(t)] = t % ncpu;
+
+  workers_.reserve(static_cast<std::size_t>(num_threads - 1));
+  for (int t = 1; t < num_threads; ++t) {
+    workers_.emplace_back([this, t] { worker_loop(t); });
+    if (ncpu > 1) try_pin_to_cpu(workers_.back().native_handle(), cpu_of_[static_cast<std::size_t>(t)]);
+  }
+}
+
+ThreadTeam::~ThreadTeam() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+    ++epoch_;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadTeam::worker_loop(int tid) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    std::function<void(int)> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_start_.wait(lock, [&] { return shutdown_ || epoch_ != seen_epoch; });
+      if (shutdown_) return;
+      seen_epoch = epoch_;
+      job = job_;  // copy: job_ may be replaced before we finish
+    }
+    job(tid);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--pending_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+void ThreadTeam::run(const std::function<void(int)>& fn) {
+  if (num_threads_ == 1) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = fn;
+    pending_ = num_threads_ - 1;
+    ++epoch_;
+  }
+  cv_start_.notify_all();
+  fn(0);
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_done_.wait(lock, [&] { return pending_ == 0; });
+}
+
+void ThreadTeam::parallel_for(
+    std::uint64_t begin, std::uint64_t end, std::uint64_t grain,
+    const std::function<void(std::uint64_t, std::uint64_t)>& body) {
+  if (begin >= end) return;
+  if (grain == 0) grain = 1;
+  if (num_threads_ == 1 || end - begin <= grain) {
+    body(begin, end);
+    return;
+  }
+  std::atomic<std::uint64_t> next{begin};
+  run([&](int /*tid*/) {
+    for (;;) {
+      const std::uint64_t lo = next.fetch_add(grain, std::memory_order_relaxed);
+      if (lo >= end) break;
+      body(lo, std::min(lo + grain, end));
+    }
+  });
+}
+
+void parallel_for(int num_threads, std::uint64_t begin, std::uint64_t end,
+                  std::uint64_t grain,
+                  const std::function<void(std::uint64_t, std::uint64_t)>& body) {
+  ThreadTeam team(num_threads);
+  team.parallel_for(begin, end, grain, body);
+}
+
+}  // namespace wasp

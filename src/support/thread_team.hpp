@@ -1,0 +1,76 @@
+// Persistent fork-join worker team: the parallel runtime every SSSP
+// implementation in this repository runs on (a minimal ParlayLib stand-in).
+//
+// A ThreadTeam owns `size() - 1` worker threads; the calling thread acts as
+// participant 0.  `run(fn)` executes fn(tid) on every participant and blocks
+// until all finish.  `parallel_for` provides dynamically scheduled loops via
+// an atomic work counter.
+//
+// Workers block on a condition variable between jobs, so an idle team costs
+// nothing — important on oversubscribed machines.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wasp {
+
+/// Fixed-size fork-join thread team.
+class ThreadTeam {
+ public:
+  /// Creates a team of `num_threads` participants (>= 1). Spawns
+  /// `num_threads - 1` workers; the caller of run() is participant 0.
+  /// When the machine exposes more than one CPU, workers are pinned
+  /// round-robin across CPUs so NUMA tiering is meaningful.
+  explicit ThreadTeam(int num_threads);
+  ~ThreadTeam();
+
+  ThreadTeam(const ThreadTeam&) = delete;
+  ThreadTeam& operator=(const ThreadTeam&) = delete;
+
+  /// Number of participants (including the caller).
+  [[nodiscard]] int size() const { return num_threads_; }
+
+  /// Runs fn(tid) for tid in [0, size()) and blocks until all return.
+  /// Must not be called reentrantly from within a job.
+  void run(const std::function<void(int)>& fn);
+
+  /// Dynamically scheduled parallel loop over [begin, end): participants
+  /// repeatedly claim `grain`-sized blocks and invoke body(lo, hi).
+  void parallel_for(std::uint64_t begin, std::uint64_t end, std::uint64_t grain,
+                    const std::function<void(std::uint64_t, std::uint64_t)>& body);
+
+  /// CPU id participant `tid` is (logically) placed on.
+  [[nodiscard]] int cpu_of(int tid) const { return cpu_of_[static_cast<std::size_t>(tid)]; }
+
+ private:
+  void worker_loop(int tid);
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+  std::vector<int> cpu_of_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  std::function<void(int)> job_;
+  std::uint64_t epoch_ = 0;    // bumped per job; workers wait for a new epoch
+  int pending_ = 0;            // workers still executing the current job
+  bool shutdown_ = false;
+};
+
+/// Convenience: one-shot parallel_for on a temporary need-not-persist team.
+/// Prefer a long-lived ThreadTeam in hot paths.
+void parallel_for(int num_threads, std::uint64_t begin, std::uint64_t end,
+                  std::uint64_t grain,
+                  const std::function<void(std::uint64_t, std::uint64_t)>& body);
+
+/// Number of hardware threads (>= 1).
+int hardware_threads();
+
+}  // namespace wasp

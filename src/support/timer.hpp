@@ -1,0 +1,52 @@
+// Monotonic wall-clock timing utilities used by the benchmark harness and by
+// the instrumentation hooks (barrier wait time, queue-operation time).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace wasp {
+
+/// Simple monotonic stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Nanoseconds elapsed since construction or the last reset().
+  [[nodiscard]] std::uint64_t nanoseconds() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates time across disjoint start/stop intervals. Single-threaded;
+/// instrumented code keeps one accumulator per thread (cache-padded).
+class TimeAccumulator {
+ public:
+  void start() { timer_.reset(); }
+  void stop() { total_ns_ += timer_.nanoseconds(); }
+
+  [[nodiscard]] std::uint64_t total_ns() const { return total_ns_; }
+  [[nodiscard]] double total_seconds() const { return 1e-9 * static_cast<double>(total_ns_); }
+  void reset() { total_ns_ = 0; }
+
+ private:
+  Timer timer_;
+  std::uint64_t total_ns_ = 0;
+};
+
+}  // namespace wasp

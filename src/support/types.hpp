@@ -1,0 +1,37 @@
+// Core scalar types shared by the whole library.
+//
+// Following the paper's methodology section, vertex identifiers and edge
+// weights are 32-bit unsigned integers (the Wasp codebase is based on the GAP
+// reference implementation).  Distances are 32-bit as well; kInfDist marks an
+// unreached vertex.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace wasp {
+
+/// Vertex identifier. Dense, 0-based.
+using VertexId = std::uint32_t;
+
+/// Edge weight. Non-negative; SSSP requires w >= 0.
+using Weight = std::uint32_t;
+
+/// Tentative shortest-path distance.
+using Distance = std::uint32_t;
+
+/// Index into the edge array of a CSR graph (64-bit: |E| may exceed 2^32).
+using EdgeIndex = std::uint64_t;
+
+/// Distance of an unreached vertex.
+inline constexpr Distance kInfDist = std::numeric_limits<Distance>::max();
+
+/// Invalid / sentinel vertex id.
+inline constexpr VertexId kInvalidVertex = std::numeric_limits<VertexId>::max();
+
+/// Size of a destructive-interference-free block. Hard-coded to the common
+/// x86 value; std::hardware_destructive_interference_size is not ABI-stable.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+}  // namespace wasp

@@ -1,0 +1,267 @@
+// Behaviour-focused tests for the baseline implementations: each test
+// forces a specific internal mechanism (Julienne's overflow re-bucketing,
+// the steppers' super-sparse and pull rounds, GAP's bucket fusion, OBIM's
+// global-bag migration, MultiQueue parameterizations) and checks exactness.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "sssp/bellman_ford.hpp"
+#include "sssp/delta_stepping.hpp"
+#include "sssp/dijkstra.hpp"
+#include "sssp/julienne.hpp"
+#include "sssp/mq_dijkstra.hpp"
+#include "sssp/obim.hpp"
+#include "sssp/sssp.hpp"
+#include "sssp/stepping.hpp"
+#include "sssp/validate.hpp"
+
+namespace wasp {
+namespace {
+
+struct Ref {
+  Graph graph;
+  VertexId source;
+  std::vector<Distance> dist;
+};
+
+Ref make_ref(Graph g, std::uint64_t seed = 3) {
+  Ref r;
+  r.graph = std::move(g);
+  r.source = pick_source_in_largest_component(r.graph, seed);
+  r.dist = dijkstra(r.graph, r.source).dist;
+  return r;
+}
+
+// --- Julienne: bounded window + overflow -----------------------------------
+
+TEST(Julienne, OverflowRebucketingOnDeepGraphs) {
+  // Long chain with delta=1: distances reach ~250*2048 so the 32-bucket
+  // window overflows thousands of times.
+  const Ref ref = make_ref(gen::chain_forest(1, 2048, WeightScheme::gap(), 5));
+  ThreadTeam team(3);
+  const auto r = julienne_sssp(ref.graph, ref.source, /*delta=*/1,
+                               /*direction_optimize=*/false, team);
+  EXPECT_EQ(r.dist, ref.dist);
+  // Many more rounds than buckets in one window.
+  EXPECT_GT(r.stats.rounds, 32u);
+}
+
+TEST(Julienne, PullRoundsFireOnStarAndStayExact) {
+  const Ref ref = make_ref(gen::star_hub(4000, 0.93, 0.01, WeightScheme::gap(), 6));
+  ThreadTeam team(4);
+  const auto with_pull =
+      julienne_sssp(ref.graph, ref.source, 64, /*direction_optimize=*/true, team);
+  const auto without_pull =
+      julienne_sssp(ref.graph, ref.source, 64, /*direction_optimize=*/false, team);
+  EXPECT_EQ(with_pull.dist, ref.dist);
+  EXPECT_EQ(without_pull.dist, ref.dist);
+}
+
+TEST(Julienne, WideDeltaCollapsesToFewRounds) {
+  const Ref ref = make_ref(gen::erdos_renyi(2000, 8.0, WeightScheme::gap(), 7));
+  ThreadTeam team(2);
+  const auto r = julienne_sssp(ref.graph, ref.source, 1u << 20, false, team);
+  EXPECT_EQ(r.dist, ref.dist);
+  EXPECT_LE(r.stats.rounds, 16u);  // everything lands in bucket 0
+}
+
+// --- Delta* / rho stepping ---------------------------------------------------
+
+TEST(Stepping, SuperSparseRoundsHandleChains) {
+  // A bare chain keeps the frontier at ~1 vertex: the entire run goes
+  // through the sequential super-sparse path.
+  const Ref ref = make_ref(gen::chain_forest(1, 500, WeightScheme::gap(), 8));
+  ThreadTeam team(4);
+  for (const auto kind : {SteppingKind::kDeltaStar, SteppingKind::kRho}) {
+    const auto r = stepping_sssp(ref.graph, ref.source, kind, 64, 1 << 14,
+                                 true, team);
+    EXPECT_EQ(r.dist, ref.dist);
+  }
+}
+
+TEST(Stepping, PullRoundsOnStarStayExact) {
+  const Ref ref = make_ref(gen::star_hub(6000, 0.93, 0.01, WeightScheme::gap(), 9));
+  ThreadTeam team(4);
+  for (const bool pull : {true, false}) {
+    const auto r = stepping_sssp(ref.graph, ref.source, SteppingKind::kDeltaStar,
+                                 32, 1 << 14, pull, team);
+    EXPECT_EQ(r.dist, ref.dist) << "pull=" << pull;
+  }
+}
+
+TEST(Stepping, RegressionSettledBoundIsFrontierMinNotThreshold) {
+  // Regression: rho-stepping with a small frontier sets threshold = inf
+  // ("take everything"); an earlier version advanced the settled bound to
+  // the *threshold*, so the following pull round skipped every vertex and
+  // the run terminated with unreached vertices. The settled bound must be
+  // the frontier minimum. This configuration (undirected, dense enough to
+  // trigger pulls, frontier below rho) reproduced the bug deterministically.
+  const Ref ref = make_ref(gen::erdos_renyi(3000, 8.0, WeightScheme::gap(), 16));
+  ThreadTeam team(1);
+  const auto r = stepping_sssp(ref.graph, ref.source, SteppingKind::kRho,
+                               1, /*rho=*/1 << 14, /*pull=*/true, team);
+  EXPECT_EQ(r.dist, ref.dist);
+  // Every vertex in the source's component must be reached.
+  VertexId reached = 0;
+  for (const Distance d : r.dist) reached += d != kInfDist;
+  EXPECT_GT(reached, ref.graph.num_vertices() * 9 / 10);
+}
+
+TEST(Stepping, TinyRhoStillTerminates) {
+  // rho=1 processes ~one vertex per threshold round: maximal round count,
+  // exercises the deferral path heavily.
+  const Ref ref = make_ref(gen::erdos_renyi(500, 6.0, WeightScheme::gap(), 10));
+  ThreadTeam team(3);
+  const auto r =
+      stepping_sssp(ref.graph, ref.source, SteppingKind::kRho, 1, 1, true, team);
+  EXPECT_EQ(r.dist, ref.dist);
+}
+
+TEST(Stepping, HugeDeltaStarBecomesBellmanFordLike) {
+  const Ref ref = make_ref(gen::grid(30, 30, WeightScheme::gap(), 11));
+  ThreadTeam team(4);
+  const auto r = stepping_sssp(ref.graph, ref.source, SteppingKind::kDeltaStar,
+                               kInfDist / 2, 1 << 14, false, team);
+  EXPECT_EQ(r.dist, ref.dist);
+}
+
+// --- GAP delta-stepping -------------------------------------------------------
+
+TEST(DeltaStepping, BucketFusionPreservesResultsAndCutsRounds) {
+  const Ref ref = make_ref(gen::grid(60, 60, WeightScheme::gap(), 12));
+  ThreadTeam team(4);
+  const auto fused = delta_stepping(ref.graph, ref.source, 64, true, team);
+  const auto plain = delta_stepping(ref.graph, ref.source, 64, false, team);
+  EXPECT_EQ(fused.dist, ref.dist);
+  EXPECT_EQ(plain.dist, ref.dist);
+  // Fusion's whole point: fewer synchronous steps on road-like graphs.
+  EXPECT_LT(fused.stats.rounds, plain.stats.rounds);
+}
+
+TEST(DeltaStepping, BarrierTimeIsRecorded) {
+  const Ref ref = make_ref(gen::grid(40, 40, WeightScheme::gap(), 13));
+  ThreadTeam team(4);
+  const auto r = delta_stepping(ref.graph, ref.source, 32, true, team);
+  EXPECT_GT(r.stats.barrier_ns, 0u);
+  EXPECT_GT(r.stats.rounds, 0u);
+}
+
+TEST(DeltaStepping, DeltaZeroIsTreatedAsOne) {
+  const Ref ref = make_ref(gen::erdos_renyi(500, 4.0, WeightScheme::gap(), 14));
+  ThreadTeam team(2);
+  const auto r = delta_stepping(ref.graph, ref.source, 0, true, team);
+  EXPECT_EQ(r.dist, ref.dist);
+}
+
+// --- OBIM / Galois-style -----------------------------------------------------
+
+TEST(Obim, TinyChunksForceGlobalBagTraffic) {
+  // chunk_size=2 overflows local chunks constantly; all coordination goes
+  // through the global bags.
+  const Ref ref = make_ref(gen::rmat(10, 8192, 0.57, 0.19, 0.19,
+                                     WeightScheme::gap(), 15, true));
+  ThreadTeam team(6);
+  const auto r = obim_sssp(ref.graph, ref.source, 8, /*chunk_size=*/2, team);
+  EXPECT_EQ(r.dist, ref.dist);
+}
+
+TEST(Obim, HugeChunksKeepWorkLocal) {
+  const Ref ref = make_ref(gen::rmat(10, 8192, 0.57, 0.19, 0.19,
+                                     WeightScheme::gap(), 16, true));
+  ThreadTeam team(4);
+  const auto r = obim_sssp(ref.graph, ref.source, 8, /*chunk_size=*/4096, team);
+  EXPECT_EQ(r.dist, ref.dist);
+}
+
+TEST(Obim, DeepPriorityLevelsOnChains) {
+  const Ref ref = make_ref(gen::chain_forest(2, 400, WeightScheme::gap(), 17));
+  ThreadTeam team(3);
+  const auto r = obim_sssp(ref.graph, ref.source, 1, 128, team);
+  EXPECT_EQ(r.dist, ref.dist);
+}
+
+// --- radius-stepping (extension baseline) ------------------------------------
+
+TEST(RadiusStepping, RadiiAreKNearestDistances) {
+  // Path 0-1-2-3 with weights 2,3,4: r_2(0) = dist to 2nd nearest = 5.
+  const Graph g =
+      Graph::from_edges(4, {{0, 1, 2}, {1, 2, 3}, {2, 3, 4}}, true);
+  ThreadTeam team(2);
+  const auto r1 = compute_radii(g, 1, team);
+  EXPECT_EQ(r1[0], 2u);   // nearest neighbour of 0 is 1 at distance 2
+  EXPECT_EQ(r1[1], 2u);   // nearest of 1 is 0
+  const auto r2 = compute_radii(g, 2, team);
+  EXPECT_EQ(r2[0], 5u);   // 2nd nearest of 0 is 2 at distance 5
+  EXPECT_EQ(r2[3], 7u);   // 2nd nearest of 3 is 1 at 4+3=7
+}
+
+TEST(RadiusStepping, MatchesDijkstraAcrossK) {
+  const Ref ref = make_ref(gen::erdos_renyi(2000, 8.0, WeightScheme::gap(), 22));
+  for (const std::uint32_t k : {1u, 4u, 64u}) {
+    ThreadTeam team(4);
+    const auto radii = compute_radii(ref.graph, k, team);
+    const auto r = stepping_sssp(ref.graph, ref.source, SteppingKind::kRadius,
+                                 1, 1, true, team, &radii);
+    EXPECT_EQ(r.dist, ref.dist) << "k=" << k;
+  }
+}
+
+TEST(RadiusStepping, FrontEndDispatch) {
+  const Ref ref = make_ref(gen::grid(30, 30, WeightScheme::gap(), 23));
+  SsspOptions options;
+  options.algo = Algorithm::kRadiusStepping;
+  options.threads = 3;
+  options.radius_k = 8;
+  EXPECT_EQ(run_sssp(ref.graph, ref.source, options).dist, ref.dist);
+  EXPECT_EQ(parse_algorithm("radius"), Algorithm::kRadiusStepping);
+}
+
+TEST(RadiusStepping, RequiresRadii) {
+  const Ref ref = make_ref(gen::grid(5, 5, WeightScheme::gap(), 24));
+  ThreadTeam team(1);
+  EXPECT_THROW(stepping_sssp(ref.graph, ref.source, SteppingKind::kRadius, 1,
+                             1, false, team, nullptr),
+               std::invalid_argument);
+}
+
+// --- MultiQueue Dijkstra ------------------------------------------------------
+
+TEST(MqDijkstra, ParameterMatrixStaysExact) {
+  const Ref ref = make_ref(gen::erdos_renyi(2000, 8.0, WeightScheme::gap(), 18));
+  for (const int c : {1, 4}) {
+    for (const int stickiness : {1, 16}) {
+      for (const int buffer : {1, 32}) {
+        ThreadTeam team(4);
+        const auto r = mq_dijkstra(ref.graph, ref.source, c, stickiness, buffer,
+                                   1, team);
+        EXPECT_EQ(r.dist, ref.dist)
+            << "c=" << c << " s=" << stickiness << " b=" << buffer;
+      }
+    }
+  }
+}
+
+TEST(MqDijkstra, QueueOpTimeIsRecorded) {
+  const Ref ref = make_ref(gen::erdos_renyi(2000, 8.0, WeightScheme::gap(), 19));
+  ThreadTeam team(2);
+  const auto r = mq_dijkstra(ref.graph, ref.source, 2, 8, 16, 1, team);
+  EXPECT_GT(r.stats.queue_op_ns, 0u);
+}
+
+// --- Bellman-Ford --------------------------------------------------------------
+
+TEST(BellmanFord, NegativeFreeCyclesConverge) {
+  // Dense cyclic graph: many re-insertions per round.
+  const Ref ref = make_ref(gen::rmat(9, 8192, 0.5, 0.2, 0.2,
+                                     WeightScheme::uniform(1, 8), 20, true));
+  ThreadTeam team(4);
+  const auto r = bellman_ford(ref.graph, ref.source, team);
+  EXPECT_EQ(r.dist, ref.dist);
+  EXPECT_GT(r.stats.rounds, 1u);
+}
+
+}  // namespace
+}  // namespace wasp

@@ -1,0 +1,260 @@
+// Unit tests for the concurrent substrate: chunks + pools, the Chase-Lev
+// deque (sequential semantics here; concurrent stress in
+// test_deque_stress.cpp), the d-ary heap, the spinlock, and the frontier
+// bag.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <vector>
+
+#include "concurrent/chase_lev_deque.hpp"
+#include "concurrent/chunk.hpp"
+#include "concurrent/dary_heap.hpp"
+#include "concurrent/frontier_bag.hpp"
+#include "concurrent/spinlock.hpp"
+#include "support/thread_team.hpp"
+
+namespace wasp {
+namespace {
+
+TEST(Chunk, PushPopLifo) {
+  Chunk c;
+  EXPECT_TRUE(c.empty());
+  c.push(1);
+  c.push(2);
+  c.push(3);
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.pop(), 3u);
+  EXPECT_EQ(c.pop(), 2u);
+  EXPECT_EQ(c.pop(), 1u);
+  EXPECT_TRUE(c.empty());
+}
+
+TEST(Chunk, PopFrontFifo) {
+  Chunk c;
+  c.push(10);
+  c.push(20);
+  EXPECT_EQ(c.pop_front(), 10u);
+  EXPECT_EQ(c.pop_front(), 20u);
+}
+
+TEST(Chunk, RingWrapsAroundCapacity) {
+  Chunk c;
+  // Interleave pushes and front-pops so head/tail wrap the ring repeatedly.
+  VertexId next_in = 0;
+  VertexId next_out = 0;
+  for (int round = 0; round < 10; ++round) {
+    while (!c.full()) c.push(next_in++);
+    for (int i = 0; i < 40; ++i) EXPECT_EQ(c.pop_front(), next_out++);
+  }
+  while (!c.empty()) EXPECT_EQ(c.pop_front(), next_out++);
+  EXPECT_EQ(next_in, next_out);
+}
+
+TEST(Chunk, FullAtCapacity) {
+  Chunk c;
+  for (std::uint32_t i = 0; i < Chunk::kCapacity; ++i) {
+    EXPECT_FALSE(c.full());
+    c.push(i);
+  }
+  EXPECT_TRUE(c.full());
+}
+
+TEST(Chunk, RangeMode) {
+  Chunk c;
+  EXPECT_FALSE(c.is_range());
+  c.make_range(42, 100, 200);
+  EXPECT_TRUE(c.is_range());
+  EXPECT_EQ(c.range_begin(), 100u);
+  EXPECT_EQ(c.range_end(), 200u);
+  EXPECT_EQ(c.pop(), 42u);
+  c.reset();
+  EXPECT_FALSE(c.is_range());
+  EXPECT_TRUE(c.empty());
+}
+
+TEST(Chunk, PriorityField) {
+  Chunk c;
+  c.set_priority(17);
+  EXPECT_EQ(c.priority(), 17u);
+  c.reset();
+  EXPECT_EQ(c.priority(), 0u);
+}
+
+TEST(ChunkPool, RecyclesChunks) {
+  ChunkArena arena;
+  ChunkPool pool(arena, 4);
+  Chunk* a = pool.get();
+  a->push(1);
+  a->set_priority(9);
+  pool.put(a);
+  Chunk* b = pool.get();
+  EXPECT_EQ(b, a);  // LIFO freelist reuses the chunk...
+  EXPECT_TRUE(b->empty());  // ...in pristine state
+  EXPECT_EQ(b->priority(), 0u);
+}
+
+TEST(ChunkPool, GrowsFromArenaInBlocks) {
+  ChunkArena arena;
+  ChunkPool pool(arena, 8);
+  std::set<Chunk*> seen;
+  for (int i = 0; i < 30; ++i) EXPECT_TRUE(seen.insert(pool.get()).second);
+  EXPECT_EQ(arena.num_slabs(), 4u);  // ceil(30/8)
+}
+
+TEST(ChunkPool, CrossPoolRecycling) {
+  // A chunk allocated via pool A may be recycled into pool B (stolen chunks
+  // are recycled by the thief).
+  ChunkArena arena;
+  ChunkPool a(arena, 4);
+  ChunkPool b(arena, 4);
+  Chunk* c = a.get();
+  b.put(c);
+  EXPECT_EQ(b.get(), c);
+}
+
+TEST(ChaseLevDeque, OwnerLifoOrder) {
+  ChaseLevDeque<Chunk*> dq(4);
+  Chunk c1, c2, c3;
+  dq.push_bottom(&c1);
+  dq.push_bottom(&c2);
+  dq.push_bottom(&c3);
+  EXPECT_EQ(dq.pop_bottom(), &c3);
+  EXPECT_EQ(dq.pop_bottom(), &c2);
+  EXPECT_EQ(dq.pop_bottom(), &c1);
+  EXPECT_EQ(dq.pop_bottom(), nullptr);
+}
+
+TEST(ChaseLevDeque, StealFifoOrder) {
+  ChaseLevDeque<Chunk*> dq(4);
+  Chunk c1, c2, c3;
+  dq.push_bottom(&c1);
+  dq.push_bottom(&c2);
+  dq.push_bottom(&c3);
+  EXPECT_EQ(dq.steal(), &c1);
+  EXPECT_EQ(dq.steal(), &c2);
+  EXPECT_EQ(dq.steal(), &c3);
+  EXPECT_EQ(dq.steal(), nullptr);
+}
+
+TEST(ChaseLevDeque, GrowsPastInitialCapacity) {
+  ChaseLevDeque<Chunk*> dq(2);
+  std::vector<Chunk> chunks(100);
+  for (auto& c : chunks) dq.push_bottom(&c);
+  EXPECT_EQ(dq.size_estimate(), 100);
+  for (int i = 99; i >= 0; --i) EXPECT_EQ(dq.pop_bottom(), &chunks[i]);
+}
+
+TEST(ChaseLevDeque, MixedOwnerThiefSequential) {
+  ChaseLevDeque<Chunk*> dq;
+  std::vector<Chunk> chunks(10);
+  for (int i = 0; i < 10; ++i) dq.push_bottom(&chunks[i]);
+  EXPECT_EQ(dq.steal(), &chunks[0]);
+  EXPECT_EQ(dq.pop_bottom(), &chunks[9]);
+  EXPECT_EQ(dq.steal(), &chunks[1]);
+  EXPECT_EQ(dq.size_estimate(), 7);
+}
+
+TEST(ChaseLevDeque, EmptyAfterDrain) {
+  ChaseLevDeque<Chunk*> dq;
+  Chunk c;
+  dq.push_bottom(&c);
+  EXPECT_FALSE(dq.empty_estimate());
+  dq.pop_bottom();
+  EXPECT_TRUE(dq.empty_estimate());
+  // Reusable after drain.
+  dq.push_bottom(&c);
+  EXPECT_EQ(dq.steal(), &c);
+}
+
+TEST(DaryHeap, SortsRandomInput) {
+  DaryHeap<std::uint32_t, std::uint32_t, 8> heap;
+  std::mt19937 rng(1);
+  std::vector<std::uint32_t> keys(1000);
+  for (auto& k : keys) k = rng() % 10000;
+  for (auto k : keys) heap.push(k, k * 2);
+  std::sort(keys.begin(), keys.end());
+  for (auto k : keys) {
+    const auto e = heap.pop();
+    EXPECT_EQ(e.key, k);
+    EXPECT_EQ(e.value, k * 2);
+  }
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(DaryHeap, TopPeeksMinimum) {
+  DaryHeap<int, int, 4> heap;
+  heap.push(5, 50);
+  heap.push(2, 20);
+  heap.push(8, 80);
+  EXPECT_EQ(heap.top().key, 2);
+  EXPECT_EQ(heap.size(), 3u);
+}
+
+TEST(DaryHeap, HandlesDuplicateKeys) {
+  DaryHeap<int, int, 2> heap;
+  heap.push(1, 10);
+  heap.push(1, 11);
+  heap.push(1, 12);
+  std::set<int> values;
+  for (int i = 0; i < 3; ++i) {
+    const auto e = heap.pop();
+    EXPECT_EQ(e.key, 1);
+    values.insert(e.value);
+  }
+  EXPECT_EQ(values, std::set<int>({10, 11, 12}));
+}
+
+TEST(SpinLock, MutualExclusionUnderContention) {
+  SpinLock lock;
+  std::uint64_t counter = 0;
+  ThreadTeam team(8);
+  team.run([&](int) {
+    for (int i = 0; i < 10000; ++i) {
+      std::lock_guard<SpinLock> guard(lock);
+      ++counter;
+    }
+  });
+  EXPECT_EQ(counter, 80000u);
+}
+
+TEST(SpinLock, TryLock) {
+  SpinLock lock;
+  EXPECT_TRUE(lock.try_lock());
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(FrontierBag, GathersAllSegmentsInThreadOrder) {
+  FrontierBag bag(3);
+  bag.insert(0, 1);
+  bag.insert(2, 5);
+  bag.insert(1, 3);
+  bag.insert(0, 2);
+  ASSERT_EQ(bag.compute_offsets(), 4u);
+  std::vector<VertexId> out(4);
+  for (int t = 0; t < 3; ++t) bag.copy_out_and_clear(t, out.data());
+  EXPECT_EQ(out, (std::vector<VertexId>{1, 2, 3, 5}));
+  EXPECT_EQ(bag.compute_offsets(), 0u);  // cleared
+}
+
+TEST(FrontierBag, ConcurrentInsertsDistinctTids) {
+  FrontierBag bag(4);
+  ThreadTeam team(4);
+  team.run([&](int tid) {
+    for (int i = 0; i < 1000; ++i)
+      bag.insert(tid, static_cast<VertexId>(tid * 1000 + i));
+  });
+  ASSERT_EQ(bag.compute_offsets(), 4000u);
+  std::vector<VertexId> out(4000);
+  for (int t = 0; t < 4; ++t) bag.copy_out_and_clear(t, out.data());
+  std::set<VertexId> unique(out.begin(), out.end());
+  EXPECT_EQ(unique.size(), 4000u);
+}
+
+}  // namespace
+}  // namespace wasp

@@ -1,0 +1,147 @@
+// Concurrent stress tests for the Chase-Lev deque: the lock-free structure
+// at the heart of Wasp's current bucket. Each test checks the fundamental
+// safety property — every pushed element is consumed exactly once, by owner
+// pop or by a thief — under owner/thief races, growth during steals, and
+// many-thief contention.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "concurrent/chase_lev_deque.hpp"
+#include "support/thread_team.hpp"
+
+namespace wasp {
+namespace {
+
+struct Item {
+  std::atomic<int> consumed{0};
+};
+
+/// Owner pushes `total` items (interleaving pops); `num_thieves` steal
+/// concurrently. Verifies exactly-once consumption.
+void run_stress(int num_thieves, int total, bool owner_pops) {
+  ChaseLevDeque<Item*> dq(2);  // tiny initial capacity to force growth
+  std::vector<Item> items(static_cast<std::size_t>(total));
+  std::atomic<bool> done{false};
+  std::atomic<int> consumed_count{0};
+
+  ThreadTeam team(1 + num_thieves);
+  team.run([&](int tid) {
+    if (tid == 0) {
+      for (int i = 0; i < total; ++i) {
+        dq.push_bottom(&items[static_cast<std::size_t>(i)]);
+        if (owner_pops && (i % 3 == 0)) {
+          if (Item* it = dq.pop_bottom()) {
+            EXPECT_EQ(it->consumed.fetch_add(1, std::memory_order_acq_rel), 0);
+            consumed_count.fetch_add(1, std::memory_order_acq_rel);
+          }
+        }
+      }
+      // Drain the remainder cooperatively with the thieves.
+      while (consumed_count.load(std::memory_order_acquire) < total) {
+        if (Item* it = dq.pop_bottom()) {
+          EXPECT_EQ(it->consumed.fetch_add(1, std::memory_order_acq_rel), 0);
+          consumed_count.fetch_add(1, std::memory_order_acq_rel);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+      done.store(true, std::memory_order_release);
+    } else {
+      while (!done.load(std::memory_order_acquire)) {
+        if (Item* it = dq.steal()) {
+          EXPECT_EQ(it->consumed.fetch_add(1, std::memory_order_acq_rel), 0);
+          consumed_count.fetch_add(1, std::memory_order_acq_rel);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    }
+  });
+
+  EXPECT_EQ(consumed_count.load(), total);
+  for (auto& it : items) EXPECT_EQ(it.consumed.load(), 1);
+  EXPECT_EQ(dq.pop_bottom(), nullptr);
+  EXPECT_EQ(dq.steal(), nullptr);
+}
+
+TEST(DequeStress, OneThiefNoOwnerPops) { run_stress(1, 20000, false); }
+
+TEST(DequeStress, OneThiefWithOwnerPops) { run_stress(1, 20000, true); }
+
+TEST(DequeStress, ManyThieves) { run_stress(7, 20000, true); }
+
+TEST(DequeStress, SingleElementContention) {
+  // The hard case: owner pop and thief steal racing for the last element.
+  ChaseLevDeque<Item*> dq;
+  constexpr int kRounds = 5000;
+  std::vector<Item> items(kRounds);
+  std::atomic<int> round{0};
+  std::atomic<int> consumed{0};
+
+  ThreadTeam team(2);
+  team.run([&](int tid) {
+    for (int r = 0; r < kRounds; ++r) {
+      if (tid == 0) {
+        dq.push_bottom(&items[static_cast<std::size_t>(r)]);
+        round.store(r + 1, std::memory_order_release);
+        if (Item* it = dq.pop_bottom()) {
+          EXPECT_EQ(it->consumed.fetch_add(1, std::memory_order_acq_rel), 0);
+          consumed.fetch_add(1, std::memory_order_acq_rel);
+        }
+        // Wait until this round's element is consumed by someone.
+        while (consumed.load(std::memory_order_acquire) < r + 1)
+          std::this_thread::yield();
+      } else {
+        while (round.load(std::memory_order_acquire) < r + 1)
+          std::this_thread::yield();
+        if (Item* it = dq.steal()) {
+          EXPECT_EQ(it->consumed.fetch_add(1, std::memory_order_acq_rel), 0);
+          consumed.fetch_add(1, std::memory_order_acq_rel);
+        }
+        while (consumed.load(std::memory_order_acquire) < r + 1)
+          std::this_thread::yield();
+      }
+    }
+  });
+  EXPECT_EQ(consumed.load(), kRounds);
+  for (auto& it : items) EXPECT_EQ(it.consumed.load(), 1);
+}
+
+TEST(DequeStress, GrowthDuringSteals) {
+  // Owner pushes a large burst (forcing repeated ring growth) while thieves
+  // hammer steal(); retired rings must stay readable.
+  ChaseLevDeque<Item*> dq(2);
+  constexpr int kTotal = 50000;
+  std::vector<Item> items(kTotal);
+  std::atomic<bool> done{false};
+  std::atomic<int> consumed{0};
+
+  ThreadTeam team(4);
+  team.run([&](int tid) {
+    if (tid == 0) {
+      for (int i = 0; i < kTotal; ++i)
+        dq.push_bottom(&items[static_cast<std::size_t>(i)]);
+      while (Item* it = dq.pop_bottom()) {
+        EXPECT_EQ(it->consumed.fetch_add(1, std::memory_order_acq_rel), 0);
+        consumed.fetch_add(1, std::memory_order_acq_rel);
+      }
+      while (consumed.load(std::memory_order_acquire) < kTotal)
+        std::this_thread::yield();
+      done.store(true, std::memory_order_release);
+    } else {
+      while (!done.load(std::memory_order_acquire)) {
+        if (Item* it = dq.steal()) {
+          EXPECT_EQ(it->consumed.fetch_add(1, std::memory_order_acq_rel), 0);
+          consumed.fetch_add(1, std::memory_order_acq_rel);
+        }
+      }
+    }
+  });
+  EXPECT_EQ(consumed.load(), kTotal);
+}
+
+}  // namespace
+}  // namespace wasp

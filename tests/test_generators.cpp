@@ -1,0 +1,156 @@
+// Tests for the synthetic graph generators: structural invariants each
+// generator must reproduce (the properties DESIGN.md's substitution table
+// relies on), determinism, and connectivity.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+
+namespace wasp {
+namespace {
+
+const WeightScheme kGap = WeightScheme::gap();
+
+TEST(GridGenerator, StructureAndDiameter) {
+  const Graph g = gen::grid(10, 20, kGap, 1);
+  EXPECT_EQ(g.num_vertices(), 200u);
+  // 10*19 horizontal + 9*20 vertical, doubled.
+  EXPECT_EQ(g.num_edges(), 2u * (10 * 19 + 9 * 20));
+  const DegreeStats s = degree_stats(g);
+  EXPECT_EQ(s.min, 2u);  // corners
+  EXPECT_EQ(s.max, 4u);
+  // Hop diameter from a corner equals rows-1 + cols-1.
+  const auto hops = bfs_hops(g, 0);
+  EXPECT_EQ(*std::max_element(hops.begin(), hops.end()), 9u + 19u);
+}
+
+TEST(GridGenerator, IsConnected) {
+  const Graph g = gen::grid(17, 13, kGap, 2);
+  const auto info = connected_components(g);
+  EXPECT_EQ(info.size.size(), 1u);
+}
+
+TEST(MeshGenerator, AddsDiagonals) {
+  const Graph g = gen::mesh(10, 10, kGap, 1);
+  const DegreeStats s = degree_stats(g);
+  EXPECT_EQ(s.max, 8u);  // interior vertices: 4 axis + 4 diagonal
+  EXPECT_EQ(connected_components(g).size.size(), 1u);
+}
+
+TEST(ChainForest, LongDiameterLowDegree) {
+  const Graph g = gen::chain_forest(4, 100, kGap, 3);
+  EXPECT_EQ(g.num_vertices(), 400u);
+  const DegreeStats s = degree_stats(g);
+  EXPECT_LE(s.max, 4u);  // chain interior = 2, plus rare cross-links
+  EXPECT_EQ(connected_components(g).size.size(), 1u);
+  // Diameter must be on the order of the chain length.
+  const auto hops = bfs_hops(g, 0);
+  std::uint32_t max_hop = 0;
+  for (auto h : hops)
+    if (h != kInfDist) max_hop = std::max(max_hop, h);
+  EXPECT_GT(max_hop, 90u);
+}
+
+TEST(StarHub, ReproducesMawiStructure) {
+  const Graph g = gen::star_hub(10000, 0.93, 0.01, kGap, 4);
+  // The hub is adjacent to ~93% of vertices.
+  EXPECT_GT(g.out_degree(0), 9000u);
+  // The overwhelming majority of vertices are degree-1 leaves (Mawi: 99% of
+  // hub neighbours).
+  VertexId leaves = 0;
+  for (VertexId v = 1; v < g.num_vertices(); ++v)
+    if (g.out_degree(v) == 1) ++leaves;
+  EXPECT_GT(leaves, g.num_vertices() * 8 / 10);
+  EXPECT_EQ(connected_components(g).size.size(), 1u);
+}
+
+TEST(ErdosRenyi, UniformDegreesAroundMean) {
+  const Graph g = gen::erdos_renyi(20000, 16.0, kGap, 5);
+  const DegreeStats s = degree_stats(g);
+  EXPECT_NEAR(s.avg, 16.0, 0.5);
+  // ER tail is thin: max degree stays within a small factor of the mean.
+  EXPECT_LT(s.max, 64u);
+}
+
+TEST(Rmat, SkewedDegreesWhenAsymmetric) {
+  const Graph skewed = gen::rmat(14, 1 << 18, 0.57, 0.19, 0.19, kGap, 6, false);
+  const Graph uniform = gen::erdos_renyi(1 << 14, 32.0, kGap, 6);
+  const DegreeStats ss = degree_stats(skewed);
+  const DegreeStats us = degree_stats(uniform);
+  // The RMAT max degree dwarfs the ER max at comparable average degree.
+  EXPECT_GT(ss.max, 4 * us.max);
+}
+
+TEST(Rmat, UndirectedFlagSymmetrizes) {
+  const Graph g = gen::rmat(10, 1 << 12, 0.57, 0.19, 0.19, kGap, 7, true);
+  EXPECT_TRUE(g.is_undirected());
+  // Every edge has its reverse with equal weight.
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (const WEdge& e : g.out_neighbors(u)) {
+      bool found = false;
+      for (const WEdge& r : g.out_neighbors(e.dst))
+        if (r.dst == u && r.w == e.w) found = true;
+      ASSERT_TRUE(found) << "missing reverse of " << u << "->" << e.dst;
+    }
+  }
+}
+
+TEST(RandomRegular, DegreesNearK) {
+  const Graph g = gen::random_regular(5000, 8, kGap, 8);
+  const DegreeStats s = degree_stats(g);
+  EXPECT_NEAR(s.avg, 8.0, 0.5);
+  EXPECT_LE(s.max, 16u);  // matchings give at most 2 per round
+}
+
+TEST(Hypercube, ExactStructure) {
+  const Graph g = gen::hypercube(8, kGap, 9);
+  EXPECT_EQ(g.num_vertices(), 256u);
+  EXPECT_EQ(g.num_edges(), 2u * 256 * 8 / 2);
+  const DegreeStats s = degree_stats(g);
+  EXPECT_EQ(s.min, 8u);
+  EXPECT_EQ(s.max, 8u);
+  // Hop distance equals Hamming distance from the source.
+  const auto hops = bfs_hops(g, 0);
+  EXPECT_EQ(hops[0b11111111], 8u);
+  EXPECT_EQ(hops[0b00010001], 2u);
+}
+
+TEST(SmallWorld, ConnectedWithShortcuts) {
+  const Graph g = gen::small_world(5000, 3, 0.05, kGap, 10);
+  EXPECT_EQ(connected_components(g).size.size(), 1u);
+  const DegreeStats s = degree_stats(g);
+  EXPECT_NEAR(s.avg, 6.0, 0.5);
+}
+
+TEST(PreferentialAttachment, PowerLawHead) {
+  const Graph g = gen::preferential_attachment(20000, 4, kGap, 11);
+  const DegreeStats s = degree_stats(g);
+  EXPECT_NEAR(s.avg, 8.0, 1.0);
+  // Hubs exist: some vertex far above the mean.
+  EXPECT_GT(s.max, 100u);
+  EXPECT_EQ(connected_components(g).size.size(), 1u);
+}
+
+TEST(Generators, DeterministicInSeed) {
+  const Graph a = gen::rmat(10, 4096, 0.57, 0.19, 0.19, kGap, 42, false);
+  const Graph b = gen::rmat(10, 4096, 0.57, 0.19, 0.19, kGap, 42, false);
+  EXPECT_EQ(a.offsets(), b.offsets());
+  EXPECT_EQ(a.adjacency(), b.adjacency());
+  const Graph c = gen::rmat(10, 4096, 0.57, 0.19, 0.19, kGap, 43, false);
+  EXPECT_NE(a.adjacency(), c.adjacency());
+}
+
+TEST(Generators, RejectBadParameters) {
+  EXPECT_THROW(gen::chain_forest(2, 1, kGap, 1), std::invalid_argument);
+  EXPECT_THROW(gen::rmat(0, 10, 0.5, 0.2, 0.2, kGap, 1, false),
+               std::invalid_argument);
+  EXPECT_THROW(gen::hypercube(0, kGap, 1), std::invalid_argument);
+  EXPECT_THROW(gen::random_regular(10, 0, kGap, 1), std::invalid_argument);
+  EXPECT_THROW(gen::preferential_attachment(3, 4, kGap, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wasp

@@ -1,0 +1,183 @@
+// Tests for NUMA topology discovery, synthetic topologies, and the
+// victim-tier computation driving Wasp's stealing protocol (Algorithm 2).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "support/numa.hpp"
+
+namespace wasp {
+namespace {
+
+TEST(NumaTopology, FlatHasOneNode) {
+  const auto topo = NumaTopology::flat(8);
+  EXPECT_EQ(topo.num_nodes(), 1);
+  EXPECT_EQ(topo.num_cpus(), 8);
+  for (int c = 0; c < 8; ++c) EXPECT_EQ(topo.node_of_cpu(c), 0);
+  EXPECT_EQ(topo.distance(0, 0), 10);
+}
+
+TEST(NumaTopology, DetectReturnsSaneTopology) {
+  const auto topo = NumaTopology::detect();
+  EXPECT_GE(topo.num_nodes(), 1);
+  EXPECT_GE(topo.num_cpus(), 1);
+  for (int n = 0; n < topo.num_nodes(); ++n) {
+    EXPECT_EQ(topo.distance(n, n), 10);
+    for (int c : topo.cpus_of_node(n)) EXPECT_EQ(topo.node_of_cpu(c), n);
+  }
+}
+
+TEST(NumaTopology, SyntheticEpycShape) {
+  // The paper's EPYC: 2 sockets x 4 NUMA nodes x 16 CPUs = 128 CPUs.
+  const auto topo = NumaTopology::synthetic(2, 4, 16);
+  EXPECT_EQ(topo.num_nodes(), 8);
+  EXPECT_EQ(topo.num_cpus(), 128);
+  EXPECT_EQ(topo.distance(0, 0), 10);   // same node
+  EXPECT_EQ(topo.distance(0, 3), 12);   // same socket
+  EXPECT_EQ(topo.distance(0, 4), 32);   // cross socket
+  EXPECT_EQ(topo.distance(3, 4), 32);
+  EXPECT_EQ(topo.node_of_cpu(0), 0);
+  EXPECT_EQ(topo.node_of_cpu(16), 1);
+  EXPECT_EQ(topo.node_of_cpu(127), 7);
+}
+
+namespace fs = std::filesystem;
+
+/// Builds a sysfs-shaped tree for detect_from().
+class FakeSysfs {
+ public:
+  FakeSysfs() : root_(fs::path(testing::TempDir()) / "wasp_numa_test") {
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+  ~FakeSysfs() { fs::remove_all(root_); }
+
+  void add_node(int id, const std::string& cpulist,
+                const std::string& distance) {
+    const fs::path dir = root_ / ("node" + std::to_string(id));
+    fs::create_directories(dir);
+    std::ofstream(dir / "cpulist") << cpulist << "\n";
+    std::ofstream(dir / "distance") << distance << "\n";
+  }
+
+  [[nodiscard]] std::string path() const { return root_.string(); }
+
+ private:
+  fs::path root_;
+};
+
+TEST(NumaDetectFrom, ParsesTwoNodeTree) {
+  FakeSysfs sysfs;
+  sysfs.add_node(0, "0-3", "10 21");
+  sysfs.add_node(1, "4-7", "21 10");
+  const auto topo = NumaTopology::detect_from(sysfs.path());
+  ASSERT_EQ(topo.num_nodes(), 2);
+  EXPECT_EQ(topo.num_cpus(), 8);
+  EXPECT_EQ(topo.node_of_cpu(2), 0);
+  EXPECT_EQ(topo.node_of_cpu(5), 1);
+  EXPECT_EQ(topo.distance(0, 1), 21);
+  EXPECT_EQ(topo.distance(1, 1), 10);
+}
+
+TEST(NumaDetectFrom, ParsesMixedCpulistSyntax) {
+  FakeSysfs sysfs;
+  sysfs.add_node(0, "0,2-3,7", "10");
+  const auto topo = NumaTopology::detect_from(sysfs.path());
+  ASSERT_EQ(topo.num_nodes(), 1);
+  EXPECT_EQ(topo.num_cpus(), 8);  // max id 7 -> 8 cpus
+  EXPECT_EQ(topo.cpus_of_node(0), (std::vector<int>{0, 2, 3, 7}));
+}
+
+TEST(NumaDetectFrom, MissingTreeFallsBackToFlat) {
+  const auto topo = NumaTopology::detect_from("/nonexistent/definitely");
+  EXPECT_EQ(topo.num_nodes(), 1);
+  EXPECT_GE(topo.num_cpus(), 1);
+}
+
+TEST(NumaDetectFrom, MissingDistanceFileDefaultsToLocal) {
+  FakeSysfs sysfs;
+  sysfs.add_node(0, "0-1", "10 15");
+  sysfs.add_node(1, "2-3", "15 10");
+  // Remove node1's distance file.
+  fs::remove(fs::path(sysfs.path()) / "node1" / "distance");
+  const auto topo = NumaTopology::detect_from(sysfs.path());
+  EXPECT_EQ(topo.distance(0, 1), 15);
+  EXPECT_EQ(topo.distance(1, 0), 10);  // default fill
+}
+
+TEST(VictimTiers, FlatTopologyGivesOneTier) {
+  const auto topo = NumaTopology::flat(4);
+  const std::vector<int> cpu_of = {0, 1, 2, 3};
+  const VictimTiers tiers(topo, cpu_of);
+  for (int t = 0; t < 4; ++t) {
+    ASSERT_EQ(tiers.tiers(t).size(), 1u);
+    EXPECT_EQ(tiers.tiers(t)[0].size(), 3u);
+  }
+}
+
+TEST(VictimTiers, ExcludesSelfAndCoversAllOthers) {
+  const auto topo = NumaTopology::synthetic(2, 2, 2);  // 4 nodes, 8 cpus
+  std::vector<int> cpu_of(8);
+  for (int t = 0; t < 8; ++t) cpu_of[t] = t;
+  const VictimTiers tiers(topo, cpu_of);
+  for (int t = 0; t < 8; ++t) {
+    std::set<int> seen;
+    for (const auto& tier : tiers.tiers(t))
+      for (int v : tier) {
+        EXPECT_NE(v, t);
+        EXPECT_TRUE(seen.insert(v).second) << "victim listed twice";
+      }
+    EXPECT_EQ(seen.size(), 7u);
+  }
+}
+
+TEST(VictimTiers, TiersOrderedByDistance) {
+  // 2 sockets x 2 nodes x 2 cpus: thread 0 (node 0) should see tiers
+  // same-node < same-socket < cross-socket.
+  const auto topo = NumaTopology::synthetic(2, 2, 2);
+  std::vector<int> cpu_of(8);
+  for (int t = 0; t < 8; ++t) cpu_of[t] = t;
+  const VictimTiers tiers(topo, cpu_of);
+  const auto& t0 = tiers.tiers(0);
+  ASSERT_EQ(t0.size(), 3u);
+  // Tier 0: thread 1 (same node).
+  EXPECT_EQ(t0[0], std::vector<int>({1}));
+  // Tier 1: threads 2, 3 (node 1, same socket).
+  EXPECT_EQ(std::set<int>(t0[1].begin(), t0[1].end()), std::set<int>({2, 3}));
+  // Tier 2: threads 4..7 (other socket).
+  EXPECT_EQ(std::set<int>(t0[2].begin(), t0[2].end()),
+            std::set<int>({4, 5, 6, 7}));
+}
+
+TEST(VictimTiers, RotationVariesFirstVictim) {
+  // Two thieves on the same node must not probe the same first victim in
+  // the shared remote tier.
+  const auto topo = NumaTopology::synthetic(1, 2, 4);
+  std::vector<int> cpu_of(8);
+  for (int t = 0; t < 8; ++t) cpu_of[t] = t;
+  const VictimTiers tiers(topo, cpu_of);
+  // Threads 0 and 1 are on node 0; their remote tier is {4,5,6,7} rotated
+  // differently.
+  const auto& remote0 = tiers.tiers(0).back();
+  const auto& remote1 = tiers.tiers(1).back();
+  ASSERT_EQ(remote0.size(), 4u);
+  ASSERT_EQ(remote1.size(), 4u);
+  EXPECT_NE(remote0.front(), remote1.front());
+}
+
+TEST(VictimTiers, ThreadsShareCpusWhenOversubscribed) {
+  // More threads than CPUs: the mapping wraps and tiers still cover all.
+  const auto topo = NumaTopology::flat(2);
+  std::vector<int> cpu_of = {0, 1, 0, 1, 0, 1};
+  const VictimTiers tiers(topo, cpu_of);
+  for (int t = 0; t < 6; ++t) {
+    std::size_t total = 0;
+    for (const auto& tier : tiers.tiers(t)) total += tier.size();
+    EXPECT_EQ(total, 5u);
+  }
+}
+
+}  // namespace
+}  // namespace wasp

@@ -1,0 +1,93 @@
+// Tests for the benchmark workload suite: every paper-dataset analogue must
+// build, be deterministic, expose its defining structural property, and pick
+// a valid source.
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/suite.hpp"
+
+namespace wasp {
+namespace {
+
+TEST(Suite, MainSuiteHasThirteenClasses) {
+  EXPECT_EQ(suite::main_suite().size(), 13u);
+}
+
+TEST(Suite, AppendixSuiteHasNineClasses) {
+  EXPECT_EQ(suite::appendix_suite().size(), 9u);
+}
+
+TEST(Suite, AbbreviationsRoundTrip) {
+  for (const auto cls : suite::main_suite())
+    EXPECT_EQ(suite::parse_abbr(suite::abbr(cls)), cls);
+  for (const auto cls : suite::appendix_suite())
+    EXPECT_EQ(suite::parse_abbr(suite::abbr(cls)), cls);
+  EXPECT_THROW(suite::parse_abbr("NOPE"), std::invalid_argument);
+}
+
+TEST(Suite, EveryClassBuildsAtTinyScale) {
+  for (const auto cls : suite::main_suite()) {
+    const auto w = suite::make(cls, 0.1, 1);
+    EXPECT_GT(w.graph.num_vertices(), 0u) << suite::abbr(cls);
+    EXPECT_GT(w.graph.num_edges(), 0u) << suite::abbr(cls);
+    EXPECT_LT(w.source, w.graph.num_vertices()) << suite::abbr(cls);
+    EXPECT_GT(w.graph.out_degree(w.source), 0u) << suite::abbr(cls);
+  }
+  for (const auto cls : suite::appendix_suite()) {
+    const auto w = suite::make(cls, 0.1, 1);
+    EXPECT_GT(w.graph.num_edges(), 0u) << suite::abbr(cls);
+  }
+}
+
+TEST(Suite, DeterministicInSeed) {
+  const auto a = suite::make(suite::GraphClass::kTwitter, 0.1, 5);
+  const auto b = suite::make(suite::GraphClass::kTwitter, 0.1, 5);
+  EXPECT_EQ(a.source, b.source);
+  EXPECT_EQ(a.graph.adjacency(), b.graph.adjacency());
+}
+
+TEST(Suite, RoadClassHasLowDegreeAndBigDiameter) {
+  const auto w = suite::make(suite::GraphClass::kRoadUsa, 0.2, 1);
+  const DegreeStats s = degree_stats(w.graph);
+  EXPECT_LE(s.max, 4u);
+  const auto hops = bfs_hops(w.graph, w.source);
+  std::uint32_t max_hop = 0;
+  for (auto h : hops)
+    if (h != kInfDist) max_hop = std::max(max_hop, h);
+  // Grid diameter ~ 2 * side; at scale 0.2 the side is ~143.
+  EXPECT_GT(max_hop, 50u);
+}
+
+TEST(Suite, MawiClassHasDominantHubAndLeaves) {
+  const auto w = suite::make(suite::GraphClass::kMawi, 0.2, 1);
+  const DegreeStats s = degree_stats(w.graph);
+  // Hub adjacent to most of the graph.
+  EXPECT_GT(s.max, w.graph.num_vertices() / 2);
+  const auto leaf = compute_leaf_bitmap(w.graph);
+  VertexId leaves = 0;
+  for (auto b : leaf) leaves += b;
+  EXPECT_GT(leaves, w.graph.num_vertices() / 2);
+}
+
+TEST(Suite, SkewedClassesAreSkewed) {
+  const auto tw = suite::make(suite::GraphClass::kTwitter, 0.2, 1);
+  const auto ur = suite::make(suite::GraphClass::kUrand, 0.2, 1);
+  EXPECT_GT(degree_stats(tw.graph).max, 4 * degree_stats(ur.graph).max);
+}
+
+TEST(Suite, DirectednessMatchesPaperTable) {
+  EXPECT_FALSE(suite::make(suite::GraphClass::kTwitter, 0.1, 1).graph.is_undirected());
+  EXPECT_FALSE(suite::make(suite::GraphClass::kWebSk, 0.1, 1).graph.is_undirected());
+  EXPECT_TRUE(suite::make(suite::GraphClass::kRoadUsa, 0.1, 1).graph.is_undirected());
+  EXPECT_TRUE(suite::make(suite::GraphClass::kKron, 0.1, 1).graph.is_undirected());
+  EXPECT_TRUE(suite::make(suite::GraphClass::kMawi, 0.1, 1).graph.is_undirected());
+}
+
+TEST(Suite, ScaleGrowsTheGraph) {
+  const auto small = suite::make(suite::GraphClass::kUrand, 0.1, 1);
+  const auto large = suite::make(suite::GraphClass::kUrand, 0.4, 1);
+  EXPECT_GT(large.graph.num_vertices(), 2 * small.graph.num_vertices());
+}
+
+}  // namespace
+}  // namespace wasp
