@@ -1,26 +1,127 @@
 #include "harness.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <functional>
+#include <future>
+#include <limits>
+#include <mutex>
 #include <sstream>
+#include <thread>
+#include <unordered_set>
 
+#include "support/chaos.hpp"
 #include "support/stats.hpp"
 
 namespace wasp::bench {
 
+namespace {
+
+/// Teams whose runner thread was abandoned mid-run by the watchdog. Such a
+/// team still has workers executing the abandoned trial, so handing it a new
+/// run would wedge immediately; measure() fails fast on it instead.
+std::mutex g_poisoned_mu;
+std::unordered_set<const ThreadTeam*> g_poisoned;  // NOLINT(cert-err58-cpp)
+
+bool team_poisoned(const ThreadTeam& team) {
+  std::lock_guard<std::mutex> lock(g_poisoned_mu);
+  return g_poisoned.count(&team) != 0;
+}
+
+void poison_team(const ThreadTeam& team) {
+  std::lock_guard<std::mutex> lock(g_poisoned_mu);
+  g_poisoned.insert(&team);
+}
+
+/// Runs one trial on a helper thread so the harness can give up on it.
+/// Returns true when the trial finished within `timeout_seconds` (result in
+/// `out`; exceptions from run_sssp rethrow here). On expiry the watchdog
+/// disables fault injection process-wide -- the only supported livelock
+/// source -- and grants one more timeout for the run to unwind; a run that
+/// still does not return is abandoned (thread detached, team poisoned) and
+/// the function returns false.
+bool run_with_watchdog(const Graph& g, VertexId source,
+                       const SsspOptions& options, ThreadTeam& team,
+                       double timeout_seconds, SsspResult& out) {
+  if (timeout_seconds <= 0) {
+    out = run_sssp(g, source, options, team);
+    return true;
+  }
+  std::packaged_task<SsspResult()> task(
+      [&] { return run_sssp(g, source, options, team); });
+  std::future<SsspResult> future = task.get_future();
+  std::thread runner(std::move(task));
+  const auto budget = std::chrono::duration<double>(timeout_seconds);
+  if (future.wait_for(budget) == std::future_status::ready) {
+    runner.join();
+    out = future.get();
+    return true;
+  }
+  // Timed out. Pull the injection kill switch: chaos-induced livelocks (e.g.
+  // steal-storm policies at unlucky rates) clear within microseconds once
+  // every WASP_CHAOS_FAIL starts answering false.
+  chaos::disable_all();
+  const bool recovered =
+      future.wait_for(budget) == std::future_status::ready;
+  chaos::enable_all();
+  if (recovered) {
+    runner.join();
+    out = future.get();  // counted as a trip by the caller despite recovering
+  } else {
+    runner.detach();
+    poison_team(team);
+  }
+  return false;
+}
+
+}  // namespace
+
 Measurement measure(const Graph& g, VertexId source, const SsspOptions& options,
-                    int trials, ThreadTeam& team) {
+                    int trials, ThreadTeam& team, double watchdog_seconds) {
   Measurement m;
+  if (team_poisoned(team)) {
+    m.failure = "team-poisoned";
+    m.best_seconds = std::numeric_limits<double>::quiet_NaN();
+    m.median_seconds = m.best_seconds;
+    return m;
+  }
   std::vector<double> times;
   m.best_seconds = 1e100;
+  SsspOptions opts = options;
   for (int t = 0; t < std::max(trials, 1); ++t) {
-    const SsspResult r = run_sssp(g, source, options, team);
+    SsspResult r;
+    if (!run_with_watchdog(g, source, opts, team, watchdog_seconds, r)) {
+      ++m.watchdog_trips;
+      if (team_poisoned(team)) {
+        m.failure = "watchdog-timeout";
+        break;
+      }
+      // The run recovered once injection was cut, so the configuration is a
+      // chaos-induced livelock: retry the remaining trials injection-free
+      // (once per measurement) instead of failing the row.
+      if (!m.chaos_retried && (opts.chaos != nullptr ||
+                               opts.wasp.chaos != nullptr)) {
+        m.chaos_retried = true;
+        opts.chaos = nullptr;
+        opts.wasp.chaos = nullptr;
+        --t;  // the tripped trial does not count
+        continue;
+      }
+      m.failure = "watchdog-timeout";
+      break;
+    }
     times.push_back(r.stats.seconds);
     if (r.stats.seconds < m.best_seconds) {
       m.best_seconds = r.stats.seconds;
       m.stats = r.stats;
     }
+  }
+  if (times.empty()) {
+    if (m.failure.empty()) m.failure = "watchdog-timeout";
+    m.best_seconds = std::numeric_limits<double>::quiet_NaN();
+    m.median_seconds = m.best_seconds;
+    return m;
   }
   m.median_seconds = median(times);
   return m;
@@ -112,6 +213,8 @@ void add_common_args(ArgParser& args) {
   args.add_flag("full", "use the full 13-class suite (default: core suite)");
   args.add_flag("tune", "tune delta per configuration (SLOW workflow)");
   args.add_int("seed", 1, "workload seed");
+  args.add_double("watchdog-sec", kDefaultWatchdogSeconds,
+                  "per-trial watchdog timeout in seconds (<=0 disables)");
 }
 
 std::vector<suite::GraphClass> selected_classes(const ArgParser& args) {

@@ -15,16 +15,34 @@
 namespace wasp::bench {
 
 /// One measured configuration: best-of-trials wall time plus the stats of
-/// the best run.
+/// the best run, and the watchdog's verdict when trials hung.
 struct Measurement {
   double best_seconds = 0.0;
   double median_seconds = 0.0;
   SsspStats stats;  // from the best trial
+
+  int watchdog_trips = 0;     ///< trials the watchdog had to interrupt
+  bool chaos_retried = false; ///< a trip was retried with injection disabled
+  std::string failure;        ///< empty when clean; e.g. "watchdog-timeout"
+
+  [[nodiscard]] bool ok() const { return failure.empty(); }
 };
 
+/// Default per-trial watchdog budget. Generous: the synthetic suite's worst
+/// configurations finish in seconds; only a hung/livelocked run exceeds it.
+inline constexpr double kDefaultWatchdogSeconds = 120.0;
+
 /// Runs `trials` repetitions and keeps the best (the GAP methodology).
+///
+/// Each trial runs under a watchdog: a trial exceeding `watchdog_seconds`
+/// is interrupted (fault injection is disabled process-wide first, which
+/// un-wedges chaos-induced livelocks), recorded in `watchdog_trips`, and —
+/// once per measurement — retried with injection disabled. A measurement
+/// whose retry also fails carries a non-empty `failure` instead of wedging
+/// the suite; its times are NaN. Pass watchdog_seconds <= 0 to disable.
 Measurement measure(const Graph& g, VertexId source, const SsspOptions& options,
-                    int trials, ThreadTeam& team);
+                    int trials, ThreadTeam& team,
+                    double watchdog_seconds = kDefaultWatchdogSeconds);
 
 /// Power-of-two delta candidates from 1 up to a heuristic cap derived from
 /// the graph's maximum weight and diameter proxy.

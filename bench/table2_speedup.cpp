@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
   const auto classes = bench::selected_classes(args);
   const auto algos = bench::figure5_algorithms();  // wasp last
   bench::CsvWriter csv(args.get_string("csv"),
-                       "experiment,graph,impl,delta,threads,seconds");
+                       "experiment,graph,impl,delta,threads,seconds,status");
 
   std::vector<std::vector<double>> times(algos.size(),
                                          std::vector<double>(classes.size()));
@@ -39,10 +39,15 @@ int main(int argc, char** argv) {
           args.get_flag("tune")
               ? bench::tune_delta(w.graph, w.source, options, {}, 1, team)
               : bench::default_delta(algos[a], classes[c]);
-      times[a][c] =
-          bench::measure(w.graph, w.source, options, trials, team).best_seconds;
+      const bench::Measurement m =
+          bench::measure(w.graph, w.source, options, trials, team,
+                         args.get_double("watchdog-sec"));
+      times[a][c] = m.best_seconds;
+      // Hung runs become structured "watchdog-timeout" rows with NaN times
+      // instead of wedging the remaining configurations.
       csv.row("table2", suite::abbr(classes[c]), algorithm_name(algos[a]),
-              options.delta, threads, times[a][c]);
+              options.delta, threads, times[a][c],
+              m.ok() ? "ok" : m.failure);
     }
   }
 

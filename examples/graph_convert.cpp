@@ -25,9 +25,7 @@ std::string infer_format(const std::string& path, const std::string& flag) {
   return "binary";
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   wasp::ArgParser args("graph_convert", "convert graphs between formats");
   args.add_string("in", "", "input path (omit when using --class)");
   args.add_string("in-format", "auto", "auto|binary|wsg|edgelist|mtx");
@@ -104,4 +102,17 @@ int main(int argc, char** argv) {
               graph.is_undirected() ? "undirected" : "directed", out.c_str(),
               out_format.c_str());
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Corrupt or truncated inputs surface as typed errors with byte-precise
+  // messages; report them instead of aborting.
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "graph_convert: error: %s\n", e.what());
+    return 1;
+  }
 }

@@ -18,7 +18,9 @@
 #include "support/cli.hpp"
 #include "support/stats.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   wasp::ArgParser args("sssp_cli", "run any SSSP implementation on any graph");
   args.add_string("class", "USA",
                   "workload class abbreviation (USA, EU, KV, MW, TW, ...)");
@@ -128,4 +130,17 @@ int main(int argc, char** argv) {
     }
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Bad inputs (corrupt graph files, out-of-range sources, invalid options)
+  // surface as typed errors; report them instead of aborting.
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sssp_cli: error: %s\n", e.what());
+    return 1;
+  }
 }

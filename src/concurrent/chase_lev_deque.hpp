@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "support/chaos.hpp"
 #include "support/types.hpp"
 
 namespace wasp {
@@ -46,8 +47,12 @@ class ChaseLevDeque {
       rb = grow(rb, t, b);
     }
     rb->put(b, item);
-    std::atomic_thread_fence(std::memory_order_release);
-    bottom_.store(b + 1, std::memory_order_relaxed);
+    // Release store (not fence + relaxed store as in Lê et al.): equivalent
+    // ordering — the slot write happens-before any thief that observes the
+    // new bottom — but visible to TSan, which does not model fences. This is
+    // the edge that orders the *payload's* non-atomic fields (e.g. a chunk's
+    // intrusive `next`) between owner and thief.
+    bottom_.store(b + 1, std::memory_order_release);
   }
 
   /// Owner-only: pops from the bottom (LIFO). Returns nullptr when empty.
@@ -65,10 +70,12 @@ class ChaseLevDeque {
     T item = rb->get(b);
     if (t == b) {
       // Last element: race with thieves via CAS on top.
+      WASP_CHAOS_YIELD(chaos::Point::kYieldBeforeCas);
       if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                         std::memory_order_relaxed)) {
         item = nullptr;  // a thief got it
       }
+      WASP_CHAOS_YIELD(chaos::Point::kYieldAfterCas);
       bottom_.store(b + 1, std::memory_order_relaxed);
     }
     return item;
@@ -77,14 +84,17 @@ class ChaseLevDeque {
   /// Thief: steals from the top (FIFO). Returns nullptr when empty or when
   /// it loses a race (callers treat both as "nothing stolen").
   T steal() {
+    if (WASP_CHAOS_FAIL(chaos::Point::kStealFail)) return nullptr;
     std::int64_t t = top_.load(std::memory_order_acquire);
     std::atomic_thread_fence(std::memory_order_seq_cst);
     const std::int64_t b = bottom_.load(std::memory_order_acquire);
     if (t >= b) return nullptr;
     Ring* rb = buffer_.load(std::memory_order_consume);
     T item = rb->get(t);
+    WASP_CHAOS_YIELD(chaos::Point::kYieldBeforeCas);
     if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                       std::memory_order_relaxed)) {
+      WASP_CHAOS_YIELD(chaos::Point::kYieldAfterCas);
       return nullptr;
     }
     return item;

@@ -28,6 +28,7 @@
 #include <mutex>
 #include <vector>
 
+#include "support/chaos.hpp"
 #include "support/types.hpp"
 
 namespace wasp {
@@ -148,9 +149,13 @@ class BasicChunkPool {
                           std::uint32_t block_size = 128)
       : arena_(&arena), block_size_(block_size) {}
 
-  /// Returns a pristine chunk.
+  /// Returns a pristine chunk. Under chaos, kChunkAllocFail simulates an
+  /// exhausted freelist: the pool abandons its (drained) free chunks to the
+  /// arena and carves a fresh slab, exercising the allocation path and
+  /// cross-thread chunk migration.
   ChunkT* get() {
-    if (free_ == nullptr) free_ = arena_->allocate_block(block_size_);
+    if (free_ == nullptr || WASP_CHAOS_FAIL(chaos::Point::kChunkAllocFail))
+      free_ = arena_->allocate_block(block_size_);
     ChunkT* c = free_;
     free_ = c->next;
     c->reset();

@@ -17,6 +17,7 @@
 
 #include "concurrent/dary_heap.hpp"
 #include "concurrent/spinlock.hpp"
+#include "support/chaos.hpp"
 #include "support/padded.hpp"
 #include "support/random.hpp"
 #include "support/types.hpp"
@@ -132,6 +133,8 @@ class StealingMultiQueue {
   bool steal_batch(int tid, PerThread& me, Distance& key, VertexId& value) {
     const int p = config_.threads;
     if (p <= 1) return false;
+    if (WASP_CHAOS_FAIL(chaos::Point::kStealFail)) return false;
+    WASP_CHAOS_YIELD(chaos::Point::kYieldBeforeCas);
     int a = static_cast<int>(me.rng.next_below(static_cast<std::uint64_t>(p - 1)));
     if (a >= tid) ++a;
     int b = static_cast<int>(me.rng.next_below(static_cast<std::uint64_t>(p - 1)));

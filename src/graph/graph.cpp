@@ -1,7 +1,10 @@
 #include "graph/graph.hpp"
 
 #include <algorithm>
+#include <sstream>
 #include <stdexcept>
+
+#include "support/errors.hpp"
 
 namespace wasp {
 
@@ -45,7 +48,26 @@ Graph Graph::from_edges(VertexId num_vertices, const std::vector<Edge>& edges,
 Graph Graph::from_csr(std::vector<EdgeIndex> offsets, std::vector<WEdge> adjacency,
                       bool undirected) {
   if (offsets.empty() || offsets.front() != 0 || offsets.back() != adjacency.size())
-    throw std::invalid_argument("Graph::from_csr: malformed offsets");
+    throw InvalidGraphError("Graph::from_csr: malformed offsets");
+  if (offsets.size() - 1 > static_cast<std::size_t>(kInvalidVertex))
+    throw InvalidGraphError("Graph::from_csr: too many vertices for 32-bit ids");
+  const std::size_t n = offsets.size() - 1;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (offsets[v] > offsets[v + 1]) {
+      std::ostringstream os;
+      os << "Graph::from_csr: offsets decrease at vertex " << v << " ("
+         << offsets[v] << " > " << offsets[v + 1] << ")";
+      throw InvalidGraphError(os.str());
+    }
+  }
+  for (std::size_t i = 0; i < adjacency.size(); ++i) {
+    if (adjacency[i].dst >= n) {
+      std::ostringstream os;
+      os << "Graph::from_csr: adjacency[" << i << "].dst = "
+         << adjacency[i].dst << " out of range [0, " << n << ")";
+      throw InvalidGraphError(os.str());
+    }
+  }
   Graph g;
   g.offsets_ = std::move(offsets);
   g.adjacency_ = std::move(adjacency);

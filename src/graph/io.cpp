@@ -4,10 +4,12 @@
 #include <cmath>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
 #include "graph/algorithms.hpp"
+#include "support/errors.hpp"
 
 namespace wasp::io {
 
@@ -16,8 +18,29 @@ namespace {
 constexpr char kMagic[4] = {'W', 'S', 'P', 'G'};
 constexpr std::uint32_t kVersion = 1;
 
+// Header fields claiming more payload than this many bytes are rejected as
+// corrupt rather than attempted: a truncated or garbage header must fail
+// with a precise message, not an allocation of petabytes.
+constexpr std::uint64_t kMaxPayloadBytes = 1ULL << 44;  // 16 TiB
+
 [[noreturn]] void parse_error(const std::string& what) {
-  throw std::runtime_error("graph I/O: " + what);
+  throw GraphFormatError("graph I/O: " + what);
+}
+
+/// Reads exactly `bytes` at logical stream position `offset`, reporting
+/// expected-vs-actual byte counts on short reads.
+void read_exact(std::istream& in, char* dst, std::uint64_t bytes,
+                std::uint64_t offset, const char* what) {
+  in.read(dst, static_cast<std::streamsize>(bytes));
+  const std::uint64_t got =
+      in ? bytes : static_cast<std::uint64_t>(std::max<std::streamsize>(
+                       in.gcount(), 0));
+  if (got != bytes) {
+    std::ostringstream os;
+    os << "truncated " << what << " at byte offset " << offset << ": expected "
+       << bytes << " bytes, got " << got;
+    parse_error(os.str());
+  }
 }
 
 std::ifstream open_in(const std::string& path, std::ios::openmode mode) {
@@ -56,16 +79,37 @@ Graph read_edge_list(std::istream& in, bool undirected) {
   std::vector<Edge> edges;
   VertexId max_vertex = 0;
   std::string line;
+  std::uint64_t lineno = 0;
   while (std::getline(in, line)) {
+    ++lineno;
     if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    // istream happily wraps negative text into unsigned values; reject the
+    // sign before it can alias a huge id or weight.
+    if (line.find('-') != std::string::npos) {
+      std::ostringstream os;
+      os << "line " << lineno << ": negative value in edge line: " << line;
+      parse_error(os.str());
+    }
     std::istringstream ls(line);
     std::uint64_t u = 0;
     std::uint64_t v = 0;
     std::uint64_t w = 1;
-    if (!(ls >> u >> v)) parse_error("malformed edge line: " + line);
+    if (!(ls >> u >> v)) {
+      std::ostringstream os;
+      os << "line " << lineno << ": malformed edge line: " << line;
+      parse_error(os.str());
+    }
     ls >> w;  // optional third column
-    if (u > kInvalidVertex - 1 || v > kInvalidVertex - 1)
-      parse_error("vertex id exceeds 32 bits");
+    if (u > kInvalidVertex - 1 || v > kInvalidVertex - 1) {
+      std::ostringstream os;
+      os << "line " << lineno << ": vertex id exceeds 32 bits: " << line;
+      parse_error(os.str());
+    }
+    if (w > std::numeric_limits<Weight>::max()) {
+      std::ostringstream os;
+      os << "line " << lineno << ": weight exceeds 32 bits: " << line;
+      parse_error(os.str());
+    }
     edges.push_back({static_cast<VertexId>(u), static_cast<VertexId>(v),
                      static_cast<Weight>(w)});
     max_vertex = std::max({max_vertex, static_cast<VertexId>(u),
@@ -107,7 +151,9 @@ Graph read_matrix_market(std::istream& in, double real_scale) {
   if (n64 > kInvalidVertex) parse_error("matrix too large for 32-bit ids");
 
   std::vector<Edge> edges;
-  edges.reserve(nnz);
+  // Trust nnz only as a hint: a corrupt size line must not trigger a huge
+  // allocation before the (truncation-checked) entry loop catches it.
+  edges.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(nnz, 1u << 20)));
   for (std::uint64_t i = 0; i < nnz; ++i) {
     do {
       if (!std::getline(in, line)) parse_error("truncated entries");
@@ -117,10 +163,19 @@ Graph read_matrix_market(std::istream& in, double real_scale) {
     std::uint64_t c = 0;
     if (!(es >> r >> c)) parse_error("malformed entry: " + line);
     if (r == 0 || c == 0) parse_error("Matrix Market indices are 1-based");
+    if (r > rows || c > cols) {
+      std::ostringstream os;
+      os << "entry " << (i + 1) << " of " << nnz << " out of range (" << r
+         << ", " << c << ") for a " << rows << "x" << cols
+         << " matrix: " << line;
+      parse_error(os.str());
+    }
     Weight w = 1;
     if (!pattern) {
       double value = 1.0;
       if (!(es >> value)) parse_error("missing value: " + line);
+      if (!real && value < 0.0)
+        parse_error("negative weight (SSSP requires w >= 0): " + line);
       if (real) {
         const double scaled = std::round(std::abs(value) * real_scale);
         w = scaled < 1.0 ? Weight{1} : static_cast<Weight>(scaled);
@@ -163,25 +218,47 @@ void write_binary_file(const Graph& g, const std::string& path) {
 
 Graph read_binary(std::istream& in) {
   char magic[4];
-  in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+  read_exact(in, magic, sizeof(magic), 0, "magic");
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
     parse_error("bad magic (not a wasp binary graph)");
   std::uint32_t version = 0;
   std::uint32_t undirected = 0;
   std::uint64_t n = 0;
   std::uint64_t m = 0;
-  in.read(reinterpret_cast<char*>(&version), sizeof(version));
-  in.read(reinterpret_cast<char*>(&undirected), sizeof(undirected));
-  in.read(reinterpret_cast<char*>(&n), sizeof(n));
-  in.read(reinterpret_cast<char*>(&m), sizeof(m));
-  if (!in || version != kVersion) parse_error("bad header");
+  read_exact(in, reinterpret_cast<char*>(&version), sizeof(version), 4,
+             "version field");
+  read_exact(in, reinterpret_cast<char*>(&undirected), sizeof(undirected), 8,
+             "undirected flag");
+  read_exact(in, reinterpret_cast<char*>(&n), sizeof(n), 12, "vertex count");
+  read_exact(in, reinterpret_cast<char*>(&m), sizeof(m), 20, "edge count");
+  if (version != kVersion) {
+    std::ostringstream os;
+    os << "unsupported version " << version << " (expected " << kVersion << ")";
+    parse_error(os.str());
+  }
+  if (undirected > 1) parse_error("undirected flag must be 0 or 1");
+  if (n > kInvalidVertex) {
+    std::ostringstream os;
+    os << "header claims " << n << " vertices, exceeding the 32-bit id limit "
+       << kInvalidVertex;
+    parse_error(os.str());
+  }
+  if ((n + 1) * sizeof(EdgeIndex) > kMaxPayloadBytes ||
+      m * sizeof(WEdge) > kMaxPayloadBytes) {
+    std::ostringstream os;
+    os << "oversized header: n=" << n << ", m=" << m
+       << " would require more than " << kMaxPayloadBytes
+       << " payload bytes; header is corrupt";
+    parse_error(os.str());
+  }
   std::vector<EdgeIndex> offsets(n + 1);
   std::vector<WEdge> adjacency(m);
-  in.read(reinterpret_cast<char*>(offsets.data()),
-          static_cast<std::streamsize>(offsets.size() * sizeof(EdgeIndex)));
-  in.read(reinterpret_cast<char*>(adjacency.data()),
-          static_cast<std::streamsize>(adjacency.size() * sizeof(WEdge)));
-  if (!in) parse_error("truncated binary graph");
+  const std::uint64_t offsets_bytes = offsets.size() * sizeof(EdgeIndex);
+  read_exact(in, reinterpret_cast<char*>(offsets.data()), offsets_bytes, 28,
+             "offset array");
+  read_exact(in, reinterpret_cast<char*>(adjacency.data()),
+             adjacency.size() * sizeof(WEdge), 28 + offsets_bytes,
+             "adjacency array");
   return Graph::from_csr(std::move(offsets), std::move(adjacency),
                          undirected != 0);
 }
@@ -224,18 +301,33 @@ Graph read_gap_wsg(std::istream& in) {
   bool directed = false;
   std::int64_t m = 0;
   std::int64_t n = 0;
-  in.read(reinterpret_cast<char*>(&directed), sizeof(directed));
-  in.read(reinterpret_cast<char*>(&m), sizeof(m));
-  in.read(reinterpret_cast<char*>(&n), sizeof(n));
-  if (!in || m < 0 || n < 0 || n > static_cast<std::int64_t>(kInvalidVertex))
-    parse_error("bad wsg header");
+  read_exact(in, reinterpret_cast<char*>(&directed), sizeof(directed), 0,
+             "wsg directed flag");
+  read_exact(in, reinterpret_cast<char*>(&m), sizeof(m), 1, "wsg edge count");
+  read_exact(in, reinterpret_cast<char*>(&n), sizeof(n), 9, "wsg vertex count");
+  if (m < 0 || n < 0 || n > static_cast<std::int64_t>(kInvalidVertex)) {
+    std::ostringstream os;
+    os << "bad wsg header: m=" << m << ", n=" << n
+       << " (negative or exceeding the 32-bit id limit)";
+    parse_error(os.str());
+  }
+  if ((static_cast<std::uint64_t>(n) + 1) * sizeof(EdgeIndex) >
+          kMaxPayloadBytes ||
+      static_cast<std::uint64_t>(m) * sizeof(WEdge) > kMaxPayloadBytes) {
+    std::ostringstream os;
+    os << "oversized wsg header: n=" << n << ", m=" << m
+       << " would require more than " << kMaxPayloadBytes
+       << " payload bytes; header is corrupt";
+    parse_error(os.str());
+  }
   std::vector<EdgeIndex> offsets(static_cast<std::size_t>(n) + 1);
   std::vector<WEdge> adjacency(static_cast<std::size_t>(m));
-  in.read(reinterpret_cast<char*>(offsets.data()),
-          static_cast<std::streamsize>(offsets.size() * sizeof(EdgeIndex)));
-  in.read(reinterpret_cast<char*>(adjacency.data()),
-          static_cast<std::streamsize>(adjacency.size() * sizeof(WEdge)));
-  if (!in) parse_error("truncated wsg graph");
+  const std::uint64_t offsets_bytes = offsets.size() * sizeof(EdgeIndex);
+  read_exact(in, reinterpret_cast<char*>(offsets.data()), offsets_bytes, 17,
+             "wsg offset array");
+  read_exact(in, reinterpret_cast<char*>(adjacency.data()),
+             adjacency.size() * sizeof(WEdge), 17 + offsets_bytes,
+             "wsg adjacency array");
   // Directed files carry the in-edge CSR next; our Graph only stores the
   // out view, so it is skipped.
   return Graph::from_csr(std::move(offsets), std::move(adjacency), !directed);

@@ -40,7 +40,7 @@ SsspResult bellman_ford(const Graph& g, VertexId source, ThreadTeam& team) {
         const Distance du = dist.load(u);
         for (const WEdge& e : g.out_neighbors(u)) {
           ++my.relaxations;
-          if (dist.relax_to(e.dst, du + e.w)) {
+          if (dist.relax_to(e.dst, saturating_add(du, e.w))) {
             ++my.updates;
             if (in_next[e.dst].exchange(1, std::memory_order_acq_rel) == 0)
               next.insert(tid, e.dst);

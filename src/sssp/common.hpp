@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "support/chaos.hpp"
 #include "support/numa.hpp"
 #include "support/padded.hpp"
 #include "support/types.hpp"
@@ -41,14 +42,19 @@ class AtomicDistances {
   /// strict improvement (the caller then reschedules v). Success publishes
   /// with release semantics so a scheduler flag written afterwards carries
   /// visibility of the new distance.
+  /// Candidates must come from saturating_add (see types.hpp): kInfDist can
+  /// never win the strict-decrease test, so wrapped sums cannot corrupt the
+  /// array.
   bool relax_to(VertexId v, Distance candidate) {
     Distance old = dist_[v].load(std::memory_order_relaxed);
     while (candidate < old) {
+      WASP_CHAOS_YIELD(chaos::Point::kYieldBeforeCas);
       if (dist_[v].compare_exchange_weak(old, candidate,
                                          std::memory_order_release,
                                          std::memory_order_relaxed)) {
         return true;
       }
+      WASP_CHAOS_YIELD(chaos::Point::kYieldAfterCas);
       // `old` reloaded by the failed CAS; loop re-checks the improvement.
     }
     return false;
@@ -120,6 +126,9 @@ struct WaspConfig {
   std::uint32_t chunk_capacity = 64;
   /// Synthetic NUMA topology override for tests/benches; empty = detect().
   std::shared_ptr<const NumaTopology> topology;
+  /// Fault-injection engine installed on every worker for this run (tests
+  /// only; null = no injection). Effective only in WASP_CHAOS builds.
+  chaos::Engine* chaos = nullptr;
 };
 
 /// Options for run_sssp().
@@ -147,6 +156,13 @@ struct SsspOptions {
   std::uint32_t obim_chunk_size = 128;
 
   std::uint64_t seed = 0x5EEDULL;
+
+  /// Fault-injection engine threaded to the workers of chaos-aware
+  /// algorithms (Wasp, SMQ-Dijkstra, delta-stepping). Null = no injection.
+  chaos::Engine* chaos = nullptr;
+  /// Re-validate the CSR arrays (O(n + m)) before dispatch; the front-end
+  /// always performs the O(1) source/threads/shape checks.
+  bool paranoid_checks = false;
 };
 
 /// Instrumentation totals for one run.

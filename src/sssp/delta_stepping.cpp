@@ -41,7 +41,8 @@ constexpr std::size_t kFusionLimit = 1u << 12;
 }  // namespace
 
 SsspResult delta_stepping(const Graph& g, VertexId source, Weight delta,
-                          bool bucket_fusion, ThreadTeam& team) {
+                          bool bucket_fusion, ThreadTeam& team,
+                          chaos::Engine* chaos) {
   if (delta == 0) delta = 1;
   const int p = team.size();
   AtomicDistances dist(g.num_vertices());
@@ -62,6 +63,7 @@ SsspResult delta_stepping(const Graph& g, VertexId source, Weight delta,
 
   Timer timer;
   team.run([&](int tid) {
+    chaos::ScopedInstall chaos_guard(chaos, tid);
     auto& my_bins = bins[static_cast<std::size_t>(tid)].value;
     auto& my = counters[static_cast<std::size_t>(tid)].value;
 
@@ -78,7 +80,7 @@ SsspResult delta_stepping(const Graph& g, VertexId source, Weight delta,
       ++my.vertices_processed;
       for (const WEdge& e : g.out_neighbors(u)) {
         ++my.relaxations;
-        const Distance nd = du + e.w;
+        const Distance nd = saturating_add(du, e.w);
         if (dist.relax_to(e.dst, nd)) {
           ++my.updates;
           my_bins.at(nd / delta).push_back(e.dst);

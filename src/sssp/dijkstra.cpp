@@ -20,7 +20,7 @@ SsspResult dijkstra(const Graph& g, VertexId source) {
     if (d != result.dist[u]) continue;  // stale entry (lazy deletion)
     for (const WEdge& e : g.out_neighbors(u)) {
       ++relaxations;
-      const Distance candidate = d + e.w;
+      const Distance candidate = saturating_add(d, e.w);
       if (candidate < result.dist[e.dst]) {
         result.dist[e.dst] = candidate;
         heap.push(candidate, e.dst);

@@ -83,7 +83,8 @@ SsspResult julienne_sssp(const Graph& g, VertexId source, Weight delta,
             for (const WEdge& e : g.out_neighbors(v)) {
               ++my.relaxations;
               const Distance du = dist.load(e.dst);
-              if (du != kInfDist && du + e.w < best) best = du + e.w;
+              const Distance through = saturating_add(du, e.w);
+              if (through < best) best = through;
             }
             if (dist.relax_to(v, best)) {
               ++my.updates;
@@ -105,7 +106,7 @@ SsspResult julienne_sssp(const Graph& g, VertexId source, Weight delta,
           ++my.vertices_processed;
           for (const WEdge& e : g.out_neighbors(u)) {
             ++my.relaxations;
-            const Distance nd = du + e.w;
+            const Distance nd = saturating_add(du, e.w);
             if (dist.relax_to(e.dst, nd)) {
               ++my.updates;
               stage_update(e.dst, nd);

@@ -47,7 +47,7 @@ SsspResult mq_dijkstra(const Graph& g, VertexId source, int c, int stickiness,
           ++my.vertices_processed;
           for (const WEdge& e : g.out_neighbors(u)) {
             ++my.relaxations;
-            const Distance nd = d + e.w;
+            const Distance nd = saturating_add(d, e.w);
             if (dist.relax_to(e.dst, nd)) {
               ++my.updates;
               mq.push(tid, nd, e.dst);

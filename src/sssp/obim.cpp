@@ -167,7 +167,7 @@ SsspResult obim_sssp(const Graph& g, VertexId source, Weight delta,
         ++my.vertices_processed;
         for (const WEdge& e : g.out_neighbors(u)) {
           ++my.relaxations;
-          const Distance nd = du + e.w;
+          const Distance nd = saturating_add(du, e.w);
           if (dist.relax_to(e.dst, nd)) {
             ++my.updates;
             push_update(e.dst, nd);

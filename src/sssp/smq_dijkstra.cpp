@@ -9,7 +9,8 @@
 namespace wasp {
 
 SsspResult smq_dijkstra(const Graph& g, VertexId source, int steal_batch,
-                        std::uint64_t seed, ThreadTeam& team) {
+                        std::uint64_t seed, ThreadTeam& team,
+                        chaos::Engine* chaos) {
   const int p = team.size();
   AtomicDistances dist(g.num_vertices());
   dist.store(source, 0);
@@ -26,6 +27,7 @@ SsspResult smq_dijkstra(const Graph& g, VertexId source, int steal_batch,
 
   Timer timer;
   team.run([&](int tid) {
+    chaos::ScopedInstall chaos_guard(chaos, tid);
     auto& my = counters[static_cast<std::size_t>(tid)].value;
     for (;;) {
       Distance d = 0;
@@ -40,7 +42,7 @@ SsspResult smq_dijkstra(const Graph& g, VertexId source, int steal_batch,
           ++my.vertices_processed;
           for (const WEdge& e : g.out_neighbors(u)) {
             ++my.relaxations;
-            const Distance nd = d + e.w;
+            const Distance nd = saturating_add(d, e.w);
             if (dist.relax_to(e.dst, nd)) {
               ++my.updates;
               smq.push(tid, nd, e.dst);

@@ -1,5 +1,9 @@
 #include "sssp/sssp.hpp"
 
+#include <sstream>
+
+#include "support/errors.hpp"
+
 #include "sssp/bellman_ford.hpp"
 #include "sssp/delta_stepping.hpp"
 #include "sssp/dijkstra.hpp"
@@ -12,8 +16,50 @@
 
 namespace wasp {
 
+namespace {
+
+/// Rejects inputs no algorithm can run on, with typed errors, before any
+/// worker thread is involved. The O(1) checks run always; the O(n + m) CSR
+/// scan runs only with options.paranoid_checks (Graph::from_csr already
+/// validates at construction, so this re-scan is for callers that bypassed
+/// it or mutated buffers underneath).
+void check_inputs(const Graph& g, VertexId source, const SsspOptions& options) {
+  if (g.num_vertices() == 0)
+    throw InvalidGraphError("run_sssp: graph has no vertices");
+  if (source >= g.num_vertices()) {
+    std::ostringstream os;
+    os << "run_sssp: source " << source << " out of range [0, "
+       << g.num_vertices() << ")";
+    throw InvalidSourceError(os.str());
+  }
+  if (options.threads < 1)
+    throw InvalidOptionsError("run_sssp: threads must be >= 1");
+  if (!options.paranoid_checks) return;
+  const auto& offsets = g.offsets();
+  const auto& adjacency = g.adjacency();
+  for (std::size_t v = 0; v + 1 < offsets.size(); ++v) {
+    if (offsets[v] > offsets[v + 1]) {
+      std::ostringstream os;
+      os << "run_sssp: CSR offsets decrease at vertex " << v << " ("
+         << offsets[v] << " > " << offsets[v + 1] << ")";
+      throw InvalidGraphError(os.str());
+    }
+  }
+  for (std::size_t i = 0; i < adjacency.size(); ++i) {
+    if (adjacency[i].dst >= g.num_vertices()) {
+      std::ostringstream os;
+      os << "run_sssp: adjacency[" << i << "].dst = " << adjacency[i].dst
+         << " out of range [0, " << g.num_vertices() << ")";
+      throw InvalidGraphError(os.str());
+    }
+  }
+}
+
+}  // namespace
+
 SsspResult run_sssp(const Graph& g, VertexId source, const SsspOptions& options,
                     ThreadTeam& team) {
+  check_inputs(g, source, options);
   switch (options.algo) {
     case Algorithm::kDijkstra:
       return dijkstra(g, source);
@@ -21,7 +67,7 @@ SsspResult run_sssp(const Graph& g, VertexId source, const SsspOptions& options,
       return bellman_ford(g, source, team);
     case Algorithm::kDeltaStepping:
       return delta_stepping(g, source, options.delta, options.bucket_fusion,
-                            team);
+                            team, options.chaos);
     case Algorithm::kJulienne:
       return julienne_sssp(g, source, options.delta, options.direction_optimize,
                            team);
@@ -46,11 +92,14 @@ SsspResult run_sssp(const Graph& g, VertexId source, const SsspOptions& options,
                          options.mq_buffer, options.seed, team);
     case Algorithm::kSmqDijkstra:
       return smq_dijkstra(g, source, options.smq_steal_batch, options.seed,
-                          team);
+                          team, options.chaos);
     case Algorithm::kObim:
       return obim_sssp(g, source, options.delta, options.obim_chunk_size, team);
-    case Algorithm::kWasp:
-      return wasp_sssp(g, source, options.delta, options.wasp, team);
+    case Algorithm::kWasp: {
+      WaspConfig cfg = options.wasp;
+      if (cfg.chaos == nullptr) cfg.chaos = options.chaos;
+      return wasp_sssp(g, source, options.delta, cfg, team);
+    }
   }
   return dijkstra(g, source);  // unreachable
 }

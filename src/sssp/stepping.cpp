@@ -49,7 +49,7 @@ std::vector<Distance> compute_radii(const Graph& g, std::uint32_t k,
         if (found > k) break;
         for (const WEdge& e : g.out_neighbors(u)) {
           if (settled.size() + heap.size() > 8 * k) break;  // bound the probe
-          heap.push(d + e.w, e.dst);
+          heap.push(saturating_add(d, e.w), e.dst);
         }
       }
       radii[vi] = radius;
@@ -103,7 +103,7 @@ SsspResult stepping_sssp(const Graph& g, VertexId source, SteppingKind kind,
       ++my.vertices_processed;
       for (const WEdge& e : g.out_neighbors(u)) {
         ++my.relaxations;
-        if (dist.relax_to(e.dst, du + e.w)) {
+        if (dist.relax_to(e.dst, saturating_add(du, e.w))) {
           ++my.updates;
           enqueue(tid, e.dst);
         }
@@ -212,7 +212,7 @@ SsspResult stepping_sssp(const Graph& g, VertexId source, SteppingKind kind,
               ++my.vertices_processed;
               for (const WEdge& e : g.out_neighbors(u)) {
                 ++my.relaxations;
-                if (dist.relax_to(e.dst, du + e.w)) {
+                if (dist.relax_to(e.dst, saturating_add(du, e.w))) {
                   ++my.updates;
                   if (in_frontier[e.dst].exchange(1, std::memory_order_acq_rel) == 0)
                     next_seq.push_back(e.dst);
@@ -253,7 +253,8 @@ SsspResult stepping_sssp(const Graph& g, VertexId source, SteppingKind kind,
             for (const WEdge& e : g.out_neighbors(v)) {
               ++my.relaxations;
               const Distance du = dist.load(e.dst);
-              if (du != kInfDist && du + e.w < best) best = du + e.w;
+              const Distance through = saturating_add(du, e.w);
+              if (through < best) best = through;
             }
             if (dist.relax_to(v, best)) {
               ++my.updates;

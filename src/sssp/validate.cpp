@@ -44,7 +44,7 @@ bool validate_sssp(const Graph& g, VertexId source,
   for (VertexId u = 0; u < g.num_vertices(); ++u) {
     if (dist[u] == kInfDist) continue;
     for (const WEdge& e : g.out_neighbors(u)) {
-      if (dist[u] + e.w < dist[e.dst]) {
+      if (saturating_add(dist[u], e.w) < dist[e.dst]) {
         std::ostringstream os;
         os << "relaxable edge (" << u << " -> " << e.dst << "): " << dist[u]
            << " + " << e.w << " < " << dist[e.dst];
@@ -60,7 +60,7 @@ bool validate_sssp(const Graph& g, VertexId source,
     if (v == source || dist[v] == kInfDist) continue;
     bool witnessed = false;
     for (const WEdge& e : gt.out_neighbors(v)) {
-      if (dist[e.dst] != kInfDist && dist[e.dst] + e.w == dist[v]) {
+      if (dist[e.dst] != kInfDist && saturating_add(dist[e.dst], e.w) == dist[v]) {
         witnessed = true;
         break;
       }

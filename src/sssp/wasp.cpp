@@ -130,6 +130,9 @@ class WaspWorker {
 
   void publish_curr(std::uint64_t level) {
     curr_cache_ = level;
+    // Chaos: widen the window between deciding a level and publishing it —
+    // the interval the kStealingPriority state exists to protect.
+    WASP_CHAOS_YIELD(chaos::Point::kDelayCurrPublish);
     s_.curr[static_cast<std::size_t>(tid_)].value.store(
         level, std::memory_order_release);
   }
@@ -249,7 +252,8 @@ class WaspWorker {
       for (const WEdge& e : g.out_neighbors(u)) {
         ++my_.relaxations;
         const Distance dn = s_.dist.load(e.dst);
-        if (dn != kInfDist && dn + e.w < best) best = dn + e.w;
+        const Distance through = saturating_add(dn, e.w);
+        if (through < best) best = through;
       }
       if (best < du) {
         if (s_.dist.relax_to(u, best)) ++my_.updates;
@@ -260,7 +264,7 @@ class WaspWorker {
     ++my_.vertices_processed;
     for (const WEdge& e : g.out_neighbors(u, begin, end)) {
       ++my_.relaxations;
-      const Distance nd = du + e.w;
+      const Distance nd = saturating_add(du, e.w);
       if (s_.dist.relax_to(e.dst, nd)) {
         ++my_.updates;
         // Leaf pruning (§4.4): a shortest-path-tree leaf can never improve
@@ -432,6 +436,14 @@ class WaspWorker {
           s_.steal_epoch.load(std::memory_order_acquire);
 
       if (all_idle && epoch_before == epoch_after) {
+        // Chaos: a spurious wakeup distrusts the double-scan verdict and
+        // forces one more sweep; termination must still be reached once the
+        // injected doubt stops firing.
+        if (WASP_CHAOS_FAIL(chaos::Point::kSpuriousWakeup)) {
+          sweep = true;
+          my_.idle_ns += idle_timer.nanoseconds();
+          continue;
+        }
         my_.idle_ns += idle_timer.nanoseconds();
         return true;
       }
@@ -498,6 +510,7 @@ SsspResult wasp_sssp_impl(const Graph& g, VertexId source, Weight delta,
 
   Timer timer;
   team.run([&](int tid) {
+    chaos::ScopedInstall chaos_guard(config.chaos, tid);
     WaspWorker<ChunkT> worker(shared, tid);
     if (tid == 0) worker.seed(source);
     worker.run();

@@ -1,0 +1,41 @@
+// Typed error hierarchy for input validation.
+//
+// Each class refines the std exception callers already caught before the
+// types existed (parse failures were runtime_error, structural misuse was
+// invalid_argument / out_of_range), so existing catch sites keep working
+// while new callers can discriminate precisely.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace wasp {
+
+/// Malformed, truncated, or oversized graph input (edge list, Matrix
+/// Market, binary CSR, GAP .wsg). Messages carry the byte/line position and
+/// expected-vs-actual quantities where applicable.
+class GraphFormatError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Structurally inconsistent CSR arrays (non-monotone offsets, adjacency
+/// size mismatch, destination id out of range).
+class InvalidGraphError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// A source vertex outside [0, num_vertices).
+class InvalidSourceError : public std::out_of_range {
+ public:
+  using std::out_of_range::out_of_range;
+};
+
+/// An invalid option combination passed to the SSSP front-end.
+class InvalidOptionsError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+}  // namespace wasp

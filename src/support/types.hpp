@@ -30,6 +30,19 @@ inline constexpr Distance kInfDist = std::numeric_limits<Distance>::max();
 /// Invalid / sentinel vertex id.
 inline constexpr VertexId kInvalidVertex = std::numeric_limits<VertexId>::max();
 
+/// Overflow-safe relaxation arithmetic: dist + weight, clamped to kInfDist.
+/// Plain `a + b` wraps on adversarial inputs (e.g. weights near 2^32, or an
+/// unreached vertex's kInfDist leaking into an addition), which would let a
+/// "shorter" wrapped distance win a CAS. Saturating at kInfDist keeps such
+/// candidates non-improving, since relax requires a strict decrease.
+[[nodiscard]] constexpr Distance saturating_add(Distance a, Weight b) {
+  const std::uint64_t sum =
+      static_cast<std::uint64_t>(a) + static_cast<std::uint64_t>(b);
+  return sum >= static_cast<std::uint64_t>(kInfDist)
+             ? kInfDist
+             : static_cast<Distance>(sum);
+}
+
 /// Size of a destructive-interference-free block. Hard-coded to the common
 /// x86 value; std::hardware_destructive_interference_size is not ABI-stable.
 inline constexpr std::size_t kCacheLineSize = 64;

@@ -3,10 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <functional>
 #include <sstream>
 
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
+#include "support/errors.hpp"
 
 namespace wasp {
 namespace {
@@ -157,6 +159,144 @@ TEST(GapWsgIo, HeaderLayoutMatchesGap) {
 TEST(GapWsgIo, RejectsGarbage) {
   std::stringstream ss("xx", std::ios::in | std::ios::binary);
   EXPECT_THROW(io::read_gap_wsg(ss), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Corrupt-input hardening: every rejection must carry a precise message
+// (byte offset / line number, expected vs actual) and a typed error.
+// ---------------------------------------------------------------------------
+
+/// Serialized bytes of a small valid binary graph, for corruption.
+std::string valid_binary_bytes() {
+  const Graph g = Graph::from_edges(4, {{0, 1, 2}, {1, 2, 3}, {2, 3, 4}}, false);
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  io::write_binary(g, ss);
+  return ss.str();
+}
+
+std::string throw_message(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const std::exception& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(BinaryIo, TruncatedHeaderReportsOffsetAndCounts) {
+  const std::string bytes = valid_binary_bytes();
+  // Cut inside the vertex-count field (bytes 12..20).
+  std::stringstream ss(bytes.substr(0, 14), std::ios::in | std::ios::binary);
+  const std::string msg = throw_message([&] { io::read_binary(ss); });
+  EXPECT_NE(msg.find("truncated vertex count"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("byte offset 12"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("expected 8 bytes, got 2"), std::string::npos) << msg;
+}
+
+TEST(BinaryIo, TruncatedPayloadReportsArrayAndOffset) {
+  const std::string bytes = valid_binary_bytes();
+  // Keep the 28-byte header plus half the offset array.
+  std::stringstream ss(bytes.substr(0, 28 + 12), std::ios::in | std::ios::binary);
+  const std::string msg = throw_message([&] { io::read_binary(ss); });
+  EXPECT_NE(msg.find("truncated offset array"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("byte offset 28"), std::string::npos) << msg;
+}
+
+TEST(BinaryIo, RejectsUnsupportedVersion) {
+  std::string bytes = valid_binary_bytes();
+  bytes[4] = 9;  // version field (little-endian u32 at offset 4)
+  std::stringstream ss(bytes, std::ios::in | std::ios::binary);
+  const std::string msg = throw_message([&] { io::read_binary(ss); });
+  EXPECT_NE(msg.find("unsupported version 9 (expected 1)"), std::string::npos)
+      << msg;
+}
+
+TEST(BinaryIo, RejectsBadUndirectedFlag) {
+  std::string bytes = valid_binary_bytes();
+  bytes[8] = 7;  // undirected flag at offset 8
+  std::stringstream ss(bytes, std::ios::in | std::ios::binary);
+  EXPECT_THROW(io::read_binary(ss), GraphFormatError);
+}
+
+TEST(BinaryIo, RejectsOversizedHeaderBeforeAllocating) {
+  std::string bytes = valid_binary_bytes();
+  // Edge count (u64 at offset 20) claiming ~2^56 edges: must be rejected by
+  // the payload cap, not by an allocation attempt.
+  const std::uint64_t huge = 1ULL << 56;
+  std::memcpy(&bytes[20], &huge, sizeof(huge));
+  std::stringstream ss(bytes, std::ios::in | std::ios::binary);
+  const std::string msg = throw_message([&] { io::read_binary(ss); });
+  EXPECT_NE(msg.find("oversized header"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("header is corrupt"), std::string::npos) << msg;
+}
+
+TEST(BinaryIo, RejectsVertexCountBeyond32BitIds) {
+  std::string bytes = valid_binary_bytes();
+  const std::uint64_t huge = 1ULL << 40;
+  std::memcpy(&bytes[12], &huge, sizeof(huge));  // vertex count at offset 12
+  std::stringstream ss(bytes, std::ios::in | std::ios::binary);
+  const std::string msg = throw_message([&] { io::read_binary(ss); });
+  EXPECT_NE(msg.find("32-bit id limit"), std::string::npos) << msg;
+}
+
+TEST(BinaryIo, TypedErrorIsAlsoRuntimeError) {
+  std::stringstream ss("WXYZ", std::ios::in | std::ios::binary);
+  EXPECT_THROW(io::read_binary(ss), GraphFormatError);
+  std::stringstream ss2("WXYZ", std::ios::in | std::ios::binary);
+  EXPECT_THROW(io::read_binary(ss2), std::runtime_error);  // base class
+}
+
+TEST(GapWsgIo, TruncatedPayloadReportsArray) {
+  const Graph g = Graph::from_edges(3, {{0, 1, 5}, {1, 2, 7}}, false);
+  std::stringstream full(std::ios::in | std::ios::out | std::ios::binary);
+  io::write_gap_wsg(g, full);
+  const std::string bytes = full.str();
+  std::stringstream ss(bytes.substr(0, 17 + 8), std::ios::in | std::ios::binary);
+  const std::string msg = throw_message([&] { io::read_gap_wsg(ss); });
+  EXPECT_NE(msg.find("truncated wsg offset array"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("byte offset 17"), std::string::npos) << msg;
+}
+
+TEST(EdgeListIo, RejectsNegativeValuesWithLineNumber) {
+  std::stringstream ss("0 1 3\n2 -7 1\n");
+  const std::string msg =
+      throw_message([&] { io::read_edge_list(ss, false); });
+  EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("negative value"), std::string::npos) << msg;
+}
+
+TEST(EdgeListIo, RejectsIdsBeyond32Bits) {
+  std::stringstream ss("0 99999999999 1\n");
+  EXPECT_THROW(io::read_edge_list(ss, false), GraphFormatError);
+}
+
+TEST(MatrixMarket, RejectsOutOfRangeEntryWithPosition) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate integer general\n"
+      "3 3 2\n"
+      "1 2 7\n"
+      "5 1 4\n");
+  const std::string msg = throw_message([&] { io::read_matrix_market(ss); });
+  EXPECT_NE(msg.find("entry 2 of 2"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("out of range"), std::string::npos) << msg;
+}
+
+TEST(MatrixMarket, RejectsNegativeWeight) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate integer general\n"
+      "3 3 1\n"
+      "1 2 -7\n");
+  const std::string msg = throw_message([&] { io::read_matrix_market(ss); });
+  EXPECT_NE(msg.find("negative weight"), std::string::npos) << msg;
+}
+
+TEST(MatrixMarket, RejectsTruncatedEntries) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate integer general\n"
+      "3 3 3\n"
+      "1 2 7\n");
+  const std::string msg = throw_message([&] { io::read_matrix_market(ss); });
+  EXPECT_NE(msg.find("truncated entries"), std::string::npos) << msg;
 }
 
 TEST(BinaryIo, FileRoundTrip) {

@@ -2,9 +2,12 @@
 // victim-tier computation driving Wasp's stealing protocol (Algorithm 2).
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <filesystem>
 #include <fstream>
 #include <set>
+#include <string>
 
 #include "support/numa.hpp"
 
@@ -45,10 +48,15 @@ TEST(NumaTopology, SyntheticEpycShape) {
 
 namespace fs = std::filesystem;
 
-/// Builds a sysfs-shaped tree for detect_from().
+/// Builds a sysfs-shaped tree for detect_from(). The root is unique per
+/// process: gtest_discover_tests runs every TEST as its own ctest entry, so
+/// parallel ctest would otherwise race two FakeSysfs instances on one path
+/// (observed as sporadic "Subprocess aborted" under `ctest -j`).
 class FakeSysfs {
  public:
-  FakeSysfs() : root_(fs::path(testing::TempDir()) / "wasp_numa_test") {
+  FakeSysfs()
+      : root_(fs::path(testing::TempDir()) /
+              ("wasp_numa_test_" + std::to_string(::getpid()))) {
     fs::remove_all(root_);
     fs::create_directories(root_);
   }

@@ -15,9 +15,31 @@
 #include "support/stats.hpp"
 #include "support/thread_team.hpp"
 #include "support/timer.hpp"
+#include "support/types.hpp"
 
 namespace wasp {
 namespace {
+
+TEST(SaturatingAdd, ExactBelowInfinity) {
+  EXPECT_EQ(saturating_add(0, 0), 0u);
+  EXPECT_EQ(saturating_add(3, 4), 7u);
+  EXPECT_EQ(saturating_add(kInfDist - 1, 0), kInfDist - 1);
+}
+
+TEST(SaturatingAdd, ClampsAtInfinity) {
+  EXPECT_EQ(saturating_add(kInfDist, 0), kInfDist);
+  EXPECT_EQ(saturating_add(kInfDist, 1), kInfDist);
+  EXPECT_EQ(saturating_add(kInfDist - 1, 1), kInfDist);
+  // The overflow case a naive 32-bit add would wrap to a tiny (and thus
+  // corrupting) candidate distance.
+  EXPECT_EQ(saturating_add(kInfDist - 1, kInfDist - 1), kInfDist);
+  EXPECT_EQ(saturating_add(0xFFFFFFF0u, 0x20u), kInfDist);
+}
+
+TEST(SaturatingAdd, IsConstexpr) {
+  static_assert(saturating_add(1, 2) == 3);
+  static_assert(saturating_add(kInfDist, kInfDist) == kInfDist);
+}
 
 TEST(SplitMix64, IsDeterministic) {
   SplitMix64 a(42);
