@@ -4,7 +4,7 @@
 // truncated-normal scheme along the way.
 //
 //   ./graph_convert --in graph.mtx --out graph.wsg
-//   ./graph_convert --in edges.el --in-format edgelist --undirected \
+//   ./graph_convert --in edges.el --in-format edgelist --undirected
 //                   --out graph.wsp --weights gap
 //   ./graph_convert --class TW --scale 0.5 --out tw.wsg   # generate + save
 #include <cstdio>

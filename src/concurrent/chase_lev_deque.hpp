@@ -18,6 +18,7 @@
 
 #include "support/chaos.hpp"
 #include "support/types.hpp"
+#include "verify/checked_atomic.hpp"
 
 namespace wasp {
 
@@ -60,7 +61,7 @@ class ChaseLevDeque {
     const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
     Ring* rb = buffer_.load(std::memory_order_relaxed);
     bottom_.store(b, std::memory_order_relaxed);
-    std::atomic_thread_fence(std::memory_order_seq_cst);
+    verify::thread_fence(std::memory_order_seq_cst);
     std::int64_t t = top_.load(std::memory_order_relaxed);
     if (t > b) {
       // Deque was already empty; restore bottom.
@@ -86,7 +87,7 @@ class ChaseLevDeque {
   T steal() {
     if (WASP_CHAOS_FAIL(chaos::Point::kStealFail)) return nullptr;
     std::int64_t t = top_.load(std::memory_order_acquire);
-    std::atomic_thread_fence(std::memory_order_seq_cst);
+    verify::thread_fence(std::memory_order_seq_cst);
     const std::int64_t b = bottom_.load(std::memory_order_acquire);
     if (t >= b) return nullptr;
     Ring* rb = buffer_.load(std::memory_order_consume);
@@ -112,10 +113,10 @@ class ChaseLevDeque {
  private:
   struct Ring {
     explicit Ring(std::uint64_t cap) : capacity(cap), mask(cap - 1),
-                                       slots(new std::atomic<T>[cap]) {}
+                                       slots(new verify::atomic<T>[cap]) {}
     const std::uint64_t capacity;
     const std::uint64_t mask;
-    std::unique_ptr<std::atomic<T>[]> slots;
+    std::unique_ptr<verify::atomic<T>[]> slots;
 
     T get(std::int64_t i) const {
       return slots[static_cast<std::uint64_t>(i) & mask].load(std::memory_order_relaxed);
@@ -139,9 +140,9 @@ class ChaseLevDeque {
     return bigger;
   }
 
-  alignas(kCacheLineSize) std::atomic<std::int64_t> top_{0};
-  alignas(kCacheLineSize) std::atomic<std::int64_t> bottom_{0};
-  alignas(kCacheLineSize) std::atomic<Ring*> buffer_{nullptr};
+  alignas(kCacheLineSize) verify::atomic<std::int64_t> top_{0};
+  alignas(kCacheLineSize) verify::atomic<std::int64_t> bottom_{0};
+  alignas(kCacheLineSize) verify::atomic<Ring*> buffer_{nullptr};
   std::vector<std::unique_ptr<Ring>> retired_;  // owns all rings ever used
 };
 

@@ -30,6 +30,7 @@
 
 #include "support/chaos.hpp"
 #include "support/types.hpp"
+#include "verify/checked_atomic.hpp"
 
 namespace wasp {
 
@@ -48,8 +49,14 @@ class BasicChunk {
   [[nodiscard]] std::uint32_t size() const { return tail_ - head_; }
 
   /// Appends a vertex. Precondition: !full().
+  ///
+  /// The WASP_VERIFY annotations (here and below) declare the single-owner
+  /// contract to the happens-before checker: whatever protocol hands a chunk
+  /// between threads (a Chase-Lev deque, a pool) must carry an hb edge, or
+  /// the checker reports the two access sites as a race.
   void push(VertexId v) {
     assert(!full());
+    WASP_VERIFY_WR(this);
     slots_[tail_ % kCapacity] = v;
     ++tail_;
   }
@@ -58,6 +65,7 @@ class BasicChunk {
   /// locality for the owner). Precondition: !empty().
   VertexId pop() {
     assert(!empty());
+    WASP_VERIFY_WR(this);
     --tail_;
     return slots_[tail_ % kCapacity];
   }
@@ -65,13 +73,20 @@ class BasicChunk {
   /// Removes and returns the oldest vertex (FIFO end of the ring).
   VertexId pop_front() {
     assert(!empty());
+    WASP_VERIFY_WR(this);
     const VertexId v = slots_[head_ % kCapacity];
     ++head_;
     return v;
   }
 
-  [[nodiscard]] std::uint64_t priority() const { return priority_; }
-  void set_priority(std::uint64_t p) { priority_ = p; }
+  [[nodiscard]] std::uint64_t priority() const {
+    WASP_VERIFY_RD(this);
+    return priority_;
+  }
+  void set_priority(std::uint64_t p) {
+    WASP_VERIFY_WR(this);
+    priority_ = p;
+  }
 
   /// Turns this chunk into a single-vertex neighborhood-range chunk for
   /// edges [begin, end) of v's adjacency.
@@ -90,6 +105,7 @@ class BasicChunk {
 
   /// Returns the chunk to a pristine state for reuse.
   void reset() {
+    WASP_VERIFY_WR(this);
     head_ = tail_ = 0;
     range_begin_ = range_end_ = 0;
     priority_ = 0;

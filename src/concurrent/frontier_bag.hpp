@@ -13,6 +13,7 @@
 
 #include "support/padded.hpp"
 #include "support/types.hpp"
+#include "verify/checked_atomic.hpp"
 
 namespace wasp {
 
@@ -23,8 +24,11 @@ class FrontierBag {
         offsets_(static_cast<std::size_t>(threads) + 1, 0) {}
 
   /// Appends to the caller's private segment. Concurrent across distinct
-  /// tids.
+  /// tids. The WASP_VERIFY annotations encode the phase discipline: a
+  /// segment is racy unless the barrier protocol orders inserts against the
+  /// offset scan and the copy-out.
   void insert(int tid, VertexId v) {
+    WASP_VERIFY_WR(&locals_[static_cast<std::size_t>(tid)].value);
     locals_[static_cast<std::size_t>(tid)].value.push_back(v);
   }
 
@@ -33,6 +37,7 @@ class FrontierBag {
   std::size_t compute_offsets() {
     std::size_t total = 0;
     for (std::size_t t = 0; t < locals_.size(); ++t) {
+      WASP_VERIFY_RD(&locals_[t].value);
       offsets_[t] = total;
       total += locals_[t].value.size();
     }
@@ -45,6 +50,7 @@ class FrontierBag {
   /// have room for compute_offsets() elements.
   void copy_out_and_clear(int tid, VertexId* out) {
     auto& local = locals_[static_cast<std::size_t>(tid)].value;
+    WASP_VERIFY_WR(&local);
     VertexId* dst = out + offsets_[static_cast<std::size_t>(tid)];
     for (std::size_t i = 0; i < local.size(); ++i) dst[i] = local[i];
     local.clear();

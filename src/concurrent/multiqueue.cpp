@@ -21,7 +21,8 @@ MultiQueue::MultiQueue(const Config& config)
 void MultiQueue::push(int tid, Distance key, VertexId value) {
   auto& me = per_thread_[static_cast<std::size_t>(tid)].value;
   me.insert_buffer.push_back(Entry{key, value});
-  size_.fetch_add(1, std::memory_order_acq_rel);
+  // Statistic only (see size_estimate); relaxed on purpose.
+  size_.fetch_add(1, std::memory_order_relaxed);
   if (me.insert_buffer.size() >= static_cast<std::size_t>(config_.buffer_size))
     flush(tid);
 }
@@ -34,8 +35,9 @@ void MultiQueue::flush(int tid) {
   InternalQueue& q = queues_[qi].value;
   {
     std::lock_guard<SpinLock> guard(q.lock);
+    WASP_VERIFY_WR(&q.heap);
     for (const Entry& e : me.insert_buffer) q.heap.push(e.key, e.value);
-    q.top_key.store(q.heap.top().key, std::memory_order_release);
+    q.top_key.store(q.heap.top().key, std::memory_order_relaxed);
   }
   me.insert_buffer.clear();
   me.queue_op_ns += timer.nanoseconds();
@@ -45,8 +47,8 @@ int MultiQueue::pick_queue_two_choice(PerThread& me) {
   const auto n = queues_.size();
   const auto a = static_cast<std::size_t>(me.rng.next_below(n));
   const auto b = static_cast<std::size_t>(me.rng.next_below(n));
-  const Distance ka = queues_[a].value.top_key.load(std::memory_order_acquire);
-  const Distance kb = queues_[b].value.top_key.load(std::memory_order_acquire);
+  const Distance ka = queues_[a].value.top_key.load(std::memory_order_relaxed);
+  const Distance kb = queues_[b].value.top_key.load(std::memory_order_relaxed);
   return static_cast<int>(ka <= kb ? a : b);
 }
 
@@ -65,7 +67,9 @@ bool MultiQueue::refill(int /*tid*/, PerThread& me) {
     }
     --me.sticky_left;
     InternalQueue& q = queues_[static_cast<std::size_t>(qi)].value;
-    if (q.top_key.load(std::memory_order_acquire) == kInfDist) {
+    // Advisory early-out: a stale non-inf value is re-validated under the
+    // lock below; a stale inf just skips a queue this attempt.
+    if (q.top_key.load(std::memory_order_relaxed) == kInfDist) {
       me.sticky_left = 0;  // empty queue: re-sample next time
       continue;
     }
@@ -74,6 +78,7 @@ bool MultiQueue::refill(int /*tid*/, PerThread& me) {
       me.sticky_left = 0;
       continue;
     }
+    WASP_VERIFY_WR(&q.heap);
     const auto batch = std::min<std::size_t>(
         static_cast<std::size_t>(config_.buffer_size), q.heap.size());
     me.delete_buffer.clear();
@@ -83,7 +88,7 @@ bool MultiQueue::refill(int /*tid*/, PerThread& me) {
       me.delete_buffer.push_back(Entry{e.key, e.value});
     }
     q.top_key.store(q.heap.empty() ? kInfDist : q.heap.top().key,
-                    std::memory_order_release);
+                    std::memory_order_relaxed);
     me.queue_op_ns += timer.nanoseconds();
     return true;
   }
@@ -101,7 +106,7 @@ bool MultiQueue::try_pop(int tid, Distance& key, VertexId& value) {
   const Entry e = me.delete_buffer[me.delete_cursor++];
   key = e.key;
   value = e.value;
-  size_.fetch_sub(1, std::memory_order_acq_rel);
+  size_.fetch_sub(1, std::memory_order_relaxed);
   return true;
 }
 

@@ -26,6 +26,7 @@
 #include "support/random.hpp"
 #include "support/timer.hpp"
 #include "support/types.hpp"
+#include "verify/checked_atomic.hpp"
 
 namespace wasp {
 
@@ -59,8 +60,10 @@ class MultiQueue {
   void flush(int tid);
 
   /// Elements currently buffered + queued (exact when quiescent).
+  /// Occupancy statistic: staleness is inherent (the counter races with
+  /// buffered pushes anyway), so relaxed is the honest order.
   [[nodiscard]] std::int64_t size_estimate() const {
-    return size_.load(std::memory_order_acquire);
+    return size_.load(std::memory_order_relaxed);
   }
 
   /// Nanoseconds thread `tid` has spent inside locked queue operations.
@@ -77,8 +80,10 @@ class MultiQueue {
     SpinLock lock;
     DaryHeap<Distance, VertexId, 8> heap;
     // Lock-free shadow of heap.top().key (kInfDist when empty), so the
-    // two-choice comparison does not need the lock.
-    std::atomic<Distance> top_key{kInfDist};
+    // two-choice comparison does not need the lock. Advisory: every decision
+    // based on it is re-validated under `lock`, so relaxed accesses suffice
+    // (docs/CONCURRENCY.md) — the lock itself is the load-bearing sync.
+    verify::atomic<Distance> top_key{kInfDist};
   };
 
   struct Entry {
@@ -102,7 +107,7 @@ class MultiQueue {
   Config config_;
   std::vector<CachePadded<InternalQueue>> queues_;
   std::vector<CachePadded<PerThread>> per_thread_;
-  std::atomic<std::int64_t> size_{0};
+  verify::atomic<std::int64_t> size_{0};
 };
 
 }  // namespace wasp

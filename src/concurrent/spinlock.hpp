@@ -4,10 +4,17 @@
 // locks, Galois/OBIM's global bags). Satisfies Lockable, so it composes with
 // std::lock_guard per the Core Guidelines (CP.20: RAII, never plain
 // lock()/unlock()).
+//
+// Memory-order map (docs/CONCURRENCY.md, mutants SL-*): the successful
+// exchange must be acquire so the critical section happens-after the
+// previous holder's unlock, and unlock must be release to publish the
+// section's plain writes; the spin-wait load is only a contention probe.
 #pragma once
 
 #include <atomic>
 #include <thread>
+
+#include "verify/checked_atomic.hpp"
 
 namespace wasp {
 
@@ -35,7 +42,7 @@ class SpinLock {
 
  private:
   static constexpr int kSpinsBeforeYield = 64;
-  std::atomic<bool> flag_{false};
+  verify::atomic<bool> flag_{false};
 };
 
 }  // namespace wasp

@@ -8,6 +8,16 @@
 // Included as an extension baseline: it brackets Wasp from the other side of
 // the design space (priority-queue-shaped local storage + batched stealing,
 // vs Wasp's bucket-shaped storage + priority-aware stealing).
+//
+// Memory-order map (docs/CONCURRENCY.md): the only load-bearing
+// synchronization in this structure is `buffer_lock` — every cross-thread
+// access to a steal buffer happens under it, and every unlocked read of
+// `buffer_min` or `size_` is advisory (victim sampling, refill gating,
+// occupancy monitoring) and re-validated under the lock before anything is
+// taken. The mutation tester proved the previous acquire/release/acq_rel
+// annotations on those advisory sites unnecessary (no harness could kill
+// their weakening, and the re-validation argument shows why), so they are
+// relaxed on purpose; do not "fix" them back without a killing schedule.
 #pragma once
 
 #include <atomic>
@@ -21,6 +31,7 @@
 #include "support/padded.hpp"
 #include "support/random.hpp"
 #include "support/types.hpp"
+#include "verify/checked_atomic.hpp"
 
 namespace wasp {
 
@@ -50,7 +61,9 @@ class StealingMultiQueue {
   void push(int tid, Distance key, VertexId value) {
     auto& me = per_thread_[static_cast<std::size_t>(tid)].value;
     me.heap.push(key, value);
-    size_.fetch_add(1, std::memory_order_acq_rel);
+    // Occupancy statistic only (monitoring + driver idle loops, which
+    // re-check under their own busy protocol): relaxed on purpose.
+    size_.fetch_add(1, std::memory_order_relaxed);
     maybe_refill_buffer(me);
   }
 
@@ -59,32 +72,32 @@ class StealingMultiQueue {
   /// found anywhere this attempt.
   bool try_pop(int tid, Distance& key, VertexId& value) {
     auto& me = per_thread_[static_cast<std::size_t>(tid)].value;
-    // Fast path: private heap vs own buffer front.
-    const Distance buffer_min = me.buffer_min.load(std::memory_order_acquire);
+    // Fast path: private heap vs own buffer front. Own cell: never stale.
+    const Distance buffer_min = me.buffer_min.load(std::memory_order_relaxed);
     if (!me.heap.empty() && me.heap.top().key <= buffer_min) {
       const auto e = me.heap.pop();
       key = e.key;
       value = e.value;
-      size_.fetch_sub(1, std::memory_order_acq_rel);
+      size_.fetch_sub(1, std::memory_order_relaxed);
       maybe_refill_buffer(me);
       return true;
     }
     if (buffer_min != kInfDist && pop_own_buffer(me, key, value)) {
-      size_.fetch_sub(1, std::memory_order_acq_rel);
+      size_.fetch_sub(1, std::memory_order_relaxed);
       return true;
     }
     if (!me.heap.empty()) {
       const auto e = me.heap.pop();
       key = e.key;
       value = e.value;
-      size_.fetch_sub(1, std::memory_order_acq_rel);
+      size_.fetch_sub(1, std::memory_order_relaxed);
       return true;
     }
     return steal_batch(tid, me, key, value);
   }
 
   [[nodiscard]] std::int64_t size_estimate() const {
-    return size_.load(std::memory_order_acquire);
+    return size_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -98,32 +111,38 @@ class StealingMultiQueue {
     DaryHeap<Distance, VertexId, 4> heap;  // private: owner-only
     SpinLock buffer_lock;
     std::vector<Entry> buffer;             // ascending; thieves take the lot
-    std::atomic<Distance> buffer_min{kInfDist};
+    verify::atomic<Distance> buffer_min{kInfDist};
   };
 
   /// Moves up to `steal_batch` smallest heap elements into the (empty)
   /// steal buffer so thieves have something to take.
   void maybe_refill_buffer(PerThread& me) {
-    if (me.buffer_min.load(std::memory_order_acquire) != kInfDist) return;
+    // Advisory gate: a stale non-inf value skips a refill that the next
+    // push/pop occasion retries; a stale inf is re-validated below.
+    if (me.buffer_min.load(std::memory_order_relaxed) != kInfDist) return;
     if (me.heap.empty()) return;
     std::lock_guard<SpinLock> guard(me.buffer_lock);
     if (!me.buffer.empty()) return;  // a thief raced us and left leftovers?
+    WASP_VERIFY_WR(&me.buffer);
     const int batch = config_.steal_batch;
     for (int i = 0; i < batch && !me.heap.empty(); ++i) {
       const auto e = me.heap.pop();
       me.buffer.push_back(Entry{e.key, e.value});
     }
-    me.buffer_min.store(me.buffer.front().key, std::memory_order_release);
+    // The buffer contents are published by the unlock (release); this hint
+    // is only read unlocked for victim sampling, so relaxed suffices.
+    me.buffer_min.store(me.buffer.front().key, std::memory_order_relaxed);
   }
 
   bool pop_own_buffer(PerThread& me, Distance& key, VertexId& value) {
     std::lock_guard<SpinLock> guard(me.buffer_lock);
     if (me.buffer.empty()) return false;
+    WASP_VERIFY_WR(&me.buffer);
     key = me.buffer.front().key;
     value = me.buffer.front().value;
     me.buffer.erase(me.buffer.begin());
     me.buffer_min.store(me.buffer.empty() ? kInfDist : me.buffer.front().key,
-                        std::memory_order_release);
+                        std::memory_order_relaxed);
     return true;
   }
 
@@ -139,12 +158,14 @@ class StealingMultiQueue {
     if (a >= tid) ++a;
     int b = static_cast<int>(me.rng.next_below(static_cast<std::uint64_t>(p - 1)));
     if (b >= tid) ++b;
+    // Victim sampling is advisory (stale hints cost an extra attempt, never
+    // correctness): the lock below re-validates before anything is taken.
     const Distance ka =
         per_thread_[static_cast<std::size_t>(a)].value.buffer_min.load(
-            std::memory_order_acquire);
+            std::memory_order_relaxed);
     const Distance kb =
         per_thread_[static_cast<std::size_t>(b)].value.buffer_min.load(
-            std::memory_order_acquire);
+            std::memory_order_relaxed);
     if (ka == kInfDist && kb == kInfDist) return false;
     PerThread& victim = per_thread_[static_cast<std::size_t>(ka <= kb ? a : b)].value;
 
@@ -152,12 +173,13 @@ class StealingMultiQueue {
     {
       std::lock_guard<SpinLock> guard(victim.buffer_lock);
       if (victim.buffer.empty()) return false;
+      WASP_VERIFY_WR(&victim.buffer);
       batch.swap(victim.buffer);
-      victim.buffer_min.store(kInfDist, std::memory_order_release);
+      victim.buffer_min.store(kInfDist, std::memory_order_relaxed);
     }
     key = batch.front().key;
     value = batch.front().value;
-    size_.fetch_sub(1, std::memory_order_acq_rel);
+    size_.fetch_sub(1, std::memory_order_relaxed);
     for (std::size_t i = 1; i < batch.size(); ++i)
       me.heap.push(batch[i].key, batch[i].value);
     return true;
@@ -165,7 +187,7 @@ class StealingMultiQueue {
 
   Config config_;
   std::vector<CachePadded<PerThread>> per_thread_;
-  std::atomic<std::int64_t> size_{0};
+  verify::atomic<std::int64_t> size_{0};
 };
 
 }  // namespace wasp

@@ -10,6 +10,7 @@
 #include "support/padded.hpp"
 #include "support/random.hpp"
 #include "support/timer.hpp"
+#include "verify/checked_atomic.hpp"
 
 namespace wasp {
 
@@ -63,7 +64,7 @@ struct WaspShared {
   Weight delta;
   const WaspConfig& config;
   const std::vector<std::uint8_t>* leaf;  // null when leaf pruning is off
-  std::vector<CachePadded<std::atomic<std::uint64_t>>> curr;
+  std::vector<CachePadded<verify::atomic<std::uint64_t>>> curr;
   std::vector<std::unique_ptr<ChaseLevDeque<ChunkT*>>> deques;
   VictimTiers tiers;
   BasicChunkArena<ChunkT> arena;
@@ -71,7 +72,7 @@ struct WaspShared {
   /// Bumped whenever a thread enters a termination-mode steal sweep; the
   /// double-scan termination check needs it to detect work migrating behind
   /// a scan (see WaspWorker::terminate).
-  std::atomic<std::uint64_t> steal_epoch{0};
+  verify::atomic<std::uint64_t> steal_epoch{0};
 
   WaspShared(const Graph& g, AtomicDistances& d, Weight delta_,
              const WaspConfig& cfg, const std::vector<std::uint8_t>* leaf_,

@@ -1,0 +1,384 @@
+// checked_atomic: the instrumentation shim between the concurrent layer and
+// std::atomic.
+//
+// With WASP_VERIFY=OFF (the default), wasp::verify::atomic<T> is a
+// zero-cost passthrough to std::atomic<T> and the annotation macros fold to
+// no-ops — mirroring the chaos macros' cost model, so the benchmarking
+// configuration compiles the exact bits the perf numbers come from.
+//
+// With WASP_VERIFY=ON and a verify::Session installed on the calling
+// thread, every operation runs the happens-before model of context.hpp:
+//
+//  * stores append to a bounded per-object history carrying the release
+//    clock (or the pending release-fence clock for relaxed stores);
+//  * loads may return any admissible stale store — one not superseded by a
+//    store the loading thread's vector clock already knows — chosen by a
+//    seeded PRNG, and join the release clock on acquire;
+//  * RMWs read the latest store (C11 atomicity) and continue release
+//    sequences, so an acquire load reading a relaxed fetch_add still
+//    synchronizes with the release store heading the sequence;
+//  * seq_cst operations additionally synchronize through the session's SC
+//    clock (a sound strengthening of C11's S order).
+//
+// Every model store writes through to the underlying std::atomic, so
+// unbound threads (and code running after the session ends) always see the
+// latest value.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <source_location>
+#include <type_traits>
+#include <utility>
+
+#if defined(WASP_VERIFY_ENABLED) && WASP_VERIFY_ENABLED
+#include <algorithm>
+#include <mutex>
+#include <vector>
+
+#include "verify/context.hpp"
+#include "verify/vector_clock.hpp"
+#endif
+
+namespace wasp::verify {
+
+// TSan does not model fences and GCC warns (fatally, under WASP_WERROR)
+// about every atomic_thread_fence in a -fsanitize=thread TU. The fences
+// here order same-variable accesses whose surrounding seq_cst ops already
+// give TSan a visible edge (see docs/CONCURRENCY.md, CLD-9/CLD-16), so the
+// known TSan blind spot is accepted and the warning silenced at this one
+// choke point rather than at every call site.
+inline void raw_thread_fence(std::memory_order order) noexcept {
+#if defined(__GNUC__) && !defined(__clang__) && defined(__SANITIZE_THREAD__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wtsan"
+  std::atomic_thread_fence(order);
+#pragma GCC diagnostic pop
+#else
+  std::atomic_thread_fence(order);
+#endif
+}
+
+#if defined(WASP_VERIFY_ENABLED) && WASP_VERIFY_ENABLED
+
+template <typename T>
+class atomic {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  atomic() noexcept : impl_{} {}
+  constexpr atomic(T v) noexcept : impl_(v) {}  // NOLINT(google-explicit-constructor)
+  ~atomic() { delete model_.load(std::memory_order_acquire); }
+
+  atomic(const atomic&) = delete;
+  atomic& operator=(const atomic&) = delete;
+
+  T load(std::memory_order order,
+         std::source_location loc = std::source_location::current()) const {
+    int tid;
+    Session* s = Session::bound(tid);
+    if (s == nullptr) return impl_.load(order);
+    std::lock_guard<std::mutex> guard(s->mu());
+    Model& m = model(s);
+    auto& st = s->thread_state(tid);
+    if (order == std::memory_order_seq_cst) st.clock.join(s->sc_clock());
+    const std::size_t idx = admissible_pick(s, m, st, tid);
+    const Store& chosen = m.hist[idx];
+    m.last_read[static_cast<std::size_t>(tid)] = m.base + idx;
+    s->bump_epoch(tid);
+    if (chosen.has_rel) {
+      if (order == std::memory_order_relaxed)
+        st.pending_acquire.join(chosen.rel);
+      else
+        st.clock.join(chosen.rel);  // acquire / consume / seq_cst
+    }
+    if (order == std::memory_order_seq_cst) s->sc_clock().join(st.clock);
+    (void)loc;
+    return chosen.value;
+  }
+
+  void store(T v, std::memory_order order,
+             std::source_location loc = std::source_location::current()) {
+    int tid;
+    Session* s = Session::bound(tid);
+    if (s == nullptr) {
+      impl_.store(v, order);
+      return;
+    }
+    std::lock_guard<std::mutex> guard(s->mu());
+    Model& m = model(s);
+    auto& st = s->thread_state(tid);
+    if (order == std::memory_order_seq_cst) st.clock.join(s->sc_clock());
+    append_store(s, m, st, tid, v, is_release(order), /*rmw=*/false);
+    if (order == std::memory_order_seq_cst) s->sc_clock().join(st.clock);
+    (void)loc;
+  }
+
+  T exchange(T v, std::memory_order order,
+             std::source_location loc = std::source_location::current()) {
+    return rmw([v](T) { return v; }, order, loc).first;
+  }
+
+  bool compare_exchange_strong(
+      T& expected, T desired, std::memory_order success,
+      std::memory_order failure,
+      std::source_location loc = std::source_location::current()) {
+    int tid;
+    Session* s = Session::bound(tid);
+    if (s == nullptr)
+      return impl_.compare_exchange_strong(expected, desired, success, failure);
+    std::lock_guard<std::mutex> guard(s->mu());
+    Model& m = model(s);
+    auto& st = s->thread_state(tid);
+    const T latest = m.hist.back().value;
+    if (!(latest == expected)) {
+      // Failed CAS: a load of the latest value with the failure order
+      // (reading latest, not stale, is a sound strengthening).
+      if (failure == std::memory_order_seq_cst) st.clock.join(s->sc_clock());
+      sync_read(s, m, st, tid, m.hist.size() - 1, failure);
+      if (failure == std::memory_order_seq_cst) s->sc_clock().join(st.clock);
+      expected = latest;
+      return false;
+    }
+    if (success == std::memory_order_seq_cst) st.clock.join(s->sc_clock());
+    sync_read(s, m, st, tid, m.hist.size() - 1, success);
+    append_store(s, m, st, tid, desired, is_release(success), /*rmw=*/true);
+    if (success == std::memory_order_seq_cst) s->sc_clock().join(st.clock);
+    (void)loc;
+    return true;
+  }
+
+  bool compare_exchange_weak(
+      T& expected, T desired, std::memory_order success,
+      std::memory_order failure,
+      std::source_location loc = std::source_location::current()) {
+    // The model has no spurious failure; weak == strong here.
+    return compare_exchange_strong(expected, desired, success, failure, loc);
+  }
+
+  template <typename U = T, typename = std::enable_if_t<std::is_integral_v<U>>>
+  T fetch_add(T delta, std::memory_order order,
+              std::source_location loc = std::source_location::current()) {
+    return rmw([delta](T old) { return static_cast<T>(old + delta); }, order,
+               loc)
+        .first;
+  }
+
+  template <typename U = T, typename = std::enable_if_t<std::is_integral_v<U>>>
+  T fetch_sub(T delta, std::memory_order order,
+              std::source_location loc = std::source_location::current()) {
+    return rmw([delta](T old) { return static_cast<T>(old - delta); }, order,
+               loc)
+        .first;
+  }
+
+ private:
+  struct Store {
+    T value{};
+    VectorClock rel;     ///< release-sequence clock carried by this store
+    bool has_rel = false;
+    int tid = 0;
+    std::uint32_t epoch = 0;  ///< writer's event counter at store time
+  };
+
+  struct Model {
+    std::uint64_t gen = 0;
+    std::vector<Store> hist;   ///< back() = latest in modification order
+    std::uint64_t base = 0;    ///< absolute index of hist[0]
+    std::array<std::uint64_t, kMaxVerifyThreads> last_read{};
+  };
+
+  static bool is_release(std::memory_order o) {
+    return o == std::memory_order_release || o == std::memory_order_acq_rel ||
+           o == std::memory_order_seq_cst;
+  }
+
+  /// Lazily (re)initializes the model for the current session generation,
+  /// seeding the history with the underlying value as an initial store
+  /// visible to every thread. Caller holds the session lock.
+  Model& model(Session* s) const {
+    Model* m = model_.load(std::memory_order_relaxed);
+    if (m == nullptr) {
+      m = new Model();
+      model_.store(m, std::memory_order_release);
+    }
+    if (m->gen != s->generation()) {
+      m->gen = s->generation();
+      m->hist.clear();
+      m->hist.push_back(Store{impl_.load(std::memory_order_relaxed),
+                              VectorClock{}, false, 0, 0});
+      m->base = 0;
+      m->last_read.fill(0);
+    }
+    return *m;
+  }
+
+  /// Picks an admissible store index for a load by `tid`: one at least as
+  /// new as (a) the newest store the thread's clock knows, and (b) anything
+  /// it read from this object before (coherence).
+  std::size_t admissible_pick(Session* s, Model& m,
+                              typename Session::ThreadState& st,
+                              int tid) const {
+    const std::size_t n = m.hist.size();
+    std::uint64_t lo_abs = m.last_read[static_cast<std::size_t>(tid)];
+    for (std::size_t i = n; i-- > 0;) {
+      const Store& sto = m.hist[i];
+      if (st.clock.knows(sto.tid, sto.epoch) || sto.epoch == 0) {
+        lo_abs = std::max(lo_abs, m.base + i);
+        break;
+      }
+    }
+    const std::size_t lo = lo_abs > m.base
+                               ? static_cast<std::size_t>(lo_abs - m.base)
+                               : 0;
+    return s->pick_index(tid, lo, n - 1);
+  }
+
+  /// Acquire-side bookkeeping for reading store `idx` with `order`.
+  void sync_read(Session* s, Model& m, typename Session::ThreadState& st,
+                 int tid, std::size_t idx, std::memory_order order) {
+    const Store& sto = m.hist[idx];
+    m.last_read[static_cast<std::size_t>(tid)] = m.base + idx;
+    s->bump_epoch(tid);
+    if (sto.has_rel) {
+      const bool acq = order == std::memory_order_acquire ||
+                       order == std::memory_order_consume ||
+                       order == std::memory_order_acq_rel ||
+                       order == std::memory_order_seq_cst;
+      if (acq)
+        st.clock.join(sto.rel);
+      else
+        st.pending_acquire.join(sto.rel);
+    }
+  }
+
+  /// Appends a store with the correct release-clock payload and trims the
+  /// history window. RMW stores continue the predecessor's release
+  /// sequence. Writes through to the underlying atomic.
+  void append_store(Session* s, Model& m, typename Session::ThreadState& st,
+                    int tid, T v, bool release, bool rmw) {
+    const std::uint32_t epoch = s->bump_epoch(tid);
+    Store sto{v, VectorClock{}, false, tid, epoch};
+    if (release) {
+      sto.rel = st.clock;
+      sto.has_rel = true;
+    } else if (st.has_pending_release) {
+      sto.rel = st.pending_release;
+      sto.has_rel = true;
+    }
+    if (rmw && m.hist.back().has_rel) {
+      sto.rel.join(m.hist.back().rel);  // release-sequence continuation
+      sto.has_rel = true;
+    }
+    m.hist.push_back(sto);
+    m.last_read[static_cast<std::size_t>(tid)] = m.base + m.hist.size() - 1;
+    const auto cap =
+        static_cast<std::size_t>(s->options().history_window);
+    if (m.hist.size() > cap) {
+      m.hist.erase(m.hist.begin());
+      ++m.base;
+    }
+    impl_.store(v, std::memory_order_seq_cst);  // write-through
+  }
+
+  template <typename F>
+  std::pair<T, bool> rmw(F&& f, std::memory_order order,
+                         std::source_location loc) {
+    int tid;
+    Session* s = Session::bound(tid);
+    if (s == nullptr) {
+      // Passthrough RMW loop over the underlying atomic.
+      T old = impl_.load(std::memory_order_relaxed);
+      while (!impl_.compare_exchange_weak(old, f(old), order,
+                                          std::memory_order_relaxed)) {
+      }
+      return {old, true};
+    }
+    std::lock_guard<std::mutex> guard(s->mu());
+    Model& m = model(s);
+    auto& st = s->thread_state(tid);
+    if (order == std::memory_order_seq_cst) st.clock.join(s->sc_clock());
+    const T old = m.hist.back().value;  // RMWs read latest (C11 atomicity)
+    sync_read(s, m, st, tid, m.hist.size() - 1, order);
+    append_store(s, m, st, tid, f(old), is_release(order), /*rmw=*/true);
+    if (order == std::memory_order_seq_cst) s->sc_clock().join(st.clock);
+    (void)loc;
+    return {old, true};
+  }
+
+  mutable std::atomic<T> impl_;
+  mutable std::atomic<Model*> model_{nullptr};
+};
+
+/// Instrumented replacement for std::atomic_thread_fence.
+inline void thread_fence(
+    std::memory_order order,
+    std::source_location loc = std::source_location::current()) {
+  int tid;
+  if (Session* s = Session::bound(tid)) {
+    s->fence(tid, order);
+    (void)loc;
+    return;
+  }
+  raw_thread_fence(order);
+}
+
+#else  // !WASP_VERIFY_ENABLED ------------------------------------------------
+
+/// Zero-cost passthrough: identical layout and codegen to std::atomic<T>.
+template <typename T>
+class atomic {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  atomic() noexcept : impl_{} {}
+  constexpr atomic(T v) noexcept : impl_(v) {}  // NOLINT(google-explicit-constructor)
+
+  atomic(const atomic&) = delete;
+  atomic& operator=(const atomic&) = delete;
+
+  T load(std::memory_order order) const { return impl_.load(order); }
+  void store(T v, std::memory_order order) { impl_.store(v, order); }
+  T exchange(T v, std::memory_order order) { return impl_.exchange(v, order); }
+  bool compare_exchange_strong(T& expected, T desired,
+                               std::memory_order success,
+                               std::memory_order failure) {
+    return impl_.compare_exchange_strong(expected, desired, success, failure);
+  }
+  bool compare_exchange_weak(T& expected, T desired, std::memory_order success,
+                             std::memory_order failure) {
+    return impl_.compare_exchange_weak(expected, desired, success, failure);
+  }
+  template <typename U = T, typename = std::enable_if_t<std::is_integral_v<U>>>
+  T fetch_add(T delta, std::memory_order order) {
+    return impl_.fetch_add(delta, order);
+  }
+  template <typename U = T, typename = std::enable_if_t<std::is_integral_v<U>>>
+  T fetch_sub(T delta, std::memory_order order) {
+    return impl_.fetch_sub(delta, order);
+  }
+
+ private:
+  std::atomic<T> impl_;
+};
+
+inline void thread_fence(std::memory_order order) {
+  raw_thread_fence(order);
+}
+
+#endif  // WASP_VERIFY_ENABLED
+
+}  // namespace wasp::verify
+
+// Plain-access race-checker annotations. Mark the non-atomic shared cells
+// whose publication the surrounding protocol is supposed to order; with
+// verification off they disappear entirely.
+#if defined(WASP_VERIFY_ENABLED) && WASP_VERIFY_ENABLED
+#define WASP_VERIFY_RD(addr) \
+  (::wasp::verify::plain_read(static_cast<const void*>(addr)))
+#define WASP_VERIFY_WR(addr) \
+  (::wasp::verify::plain_write(static_cast<const void*>(addr)))
+#else
+#define WASP_VERIFY_RD(addr) ((void)0)
+#define WASP_VERIFY_WR(addr) ((void)0)
+#endif

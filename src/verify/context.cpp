@@ -1,0 +1,170 @@
+#include "verify/context.hpp"
+
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+namespace wasp::verify {
+
+std::string site_str(const Site& s) {
+  const char* base = s.file;
+  for (const char* p = s.file; *p != '\0'; ++p)
+    if (*p == '/' || *p == '\\') base = p + 1;
+  std::ostringstream out;
+  out << base << ":" << s.line;
+  return out.str();
+}
+
+Session::Session(const Options& options)
+    : options_(options),
+      generation_(detail::g_generation.fetch_add(1, std::memory_order_acq_rel) +
+                  1),
+      threads_(static_cast<std::size_t>(
+          options.threads > kMaxVerifyThreads ? kMaxVerifyThreads
+                                              : options.threads)) {
+  if (options.threads < 1 || options.threads > kMaxVerifyThreads)
+    throw std::invalid_argument("verify::Session: bad thread count");
+  for (int t = 0; t < options.threads; ++t) {
+    threads_[static_cast<std::size_t>(t)].rng = Xoshiro256(
+        hash_mix(options.seed + 0x5EEDULL * static_cast<std::uint64_t>(t + 1)));
+  }
+  Session* expected = nullptr;
+  if (!detail::g_session.compare_exchange_strong(expected, this,
+                                                 std::memory_order_acq_rel))
+    throw std::logic_error("verify::Session: a session is already installed");
+}
+
+Session::~Session() {
+  detail::g_session.store(nullptr, std::memory_order_release);
+}
+
+std::size_t Session::pick_index(int tid, std::size_t lo, std::size_t hi) {
+  if (lo >= hi) return hi;
+  auto& rng = threads_[static_cast<std::size_t>(tid)].rng;
+  if (rng.next_below(65536) >= options_.stale_rate) return hi;
+  return lo + static_cast<std::size_t>(
+                  rng.next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+}
+
+void Session::fence(int tid, std::memory_order order) {
+  std::lock_guard<std::mutex> guard(mu_);
+  ThreadState& st = threads_[static_cast<std::size_t>(tid)];
+  const bool acq = order == std::memory_order_acquire ||
+                   order == std::memory_order_acq_rel ||
+                   order == std::memory_order_seq_cst;
+  const bool rel = order == std::memory_order_release ||
+                   order == std::memory_order_acq_rel ||
+                   order == std::memory_order_seq_cst;
+  // C11 29.8: an acquire fence turns the thread's earlier relaxed loads
+  // into synchronization edges; a release fence arms later relaxed stores.
+  if (acq) st.clock.join(st.pending_acquire);
+  if (order == std::memory_order_seq_cst) st.clock.join(sc_clock_);
+  if (rel) {
+    st.pending_release = st.clock;
+    st.has_pending_release = true;
+  }
+  if (order == std::memory_order_seq_cst) sc_clock_.join(st.clock);
+}
+
+void Session::on_plain_read(int tid, const void* addr, Site site) {
+  std::lock_guard<std::mutex> guard(mu_);
+  ThreadState& st = threads_[static_cast<std::size_t>(tid)];
+  PlainVar& var = plain_[addr];
+  const std::uint32_t epoch = bump_epoch(tid);
+  if (var.writer_tid >= 0 && var.writer_tid != tid &&
+      !st.clock.knows(var.writer_tid, var.writer_epoch)) {
+    std::ostringstream msg;
+    msg << "data race on plain cell " << addr << ": write at "
+        << site_str(var.writer_site) << " (t" << var.writer_tid << "#"
+        << var.writer_epoch << ") is unordered with read at " << site_str(site)
+        << " (t" << tid << "#" << epoch << ")";
+    report_locked(msg.str());
+  }
+  var.read_epoch[static_cast<std::size_t>(tid)] = epoch;
+  var.read_site[static_cast<std::size_t>(tid)] = site;
+}
+
+void Session::on_plain_write(int tid, const void* addr, Site site) {
+  std::lock_guard<std::mutex> guard(mu_);
+  ThreadState& st = threads_[static_cast<std::size_t>(tid)];
+  PlainVar& var = plain_[addr];
+  const std::uint32_t epoch = bump_epoch(tid);
+  if (var.writer_tid >= 0 && var.writer_tid != tid &&
+      !st.clock.knows(var.writer_tid, var.writer_epoch)) {
+    std::ostringstream msg;
+    msg << "data race on plain cell " << addr << ": write at "
+        << site_str(var.writer_site) << " (t" << var.writer_tid << "#"
+        << var.writer_epoch << ") is unordered with write at "
+        << site_str(site) << " (t" << tid << "#" << epoch << ")";
+    report_locked(msg.str());
+  }
+  for (int r = 0; r < options_.threads; ++r) {
+    const std::uint32_t re = var.read_epoch[static_cast<std::size_t>(r)];
+    if (r == tid || re == 0 || st.clock.knows(r, re)) continue;
+    std::ostringstream msg;
+    msg << "data race on plain cell " << addr << ": read at "
+        << site_str(var.read_site[static_cast<std::size_t>(r)]) << " (t" << r
+        << "#" << re << ") is unordered with write at " << site_str(site)
+        << " (t" << tid << "#" << epoch << ")";
+    report_locked(msg.str());
+  }
+  var.writer_tid = tid;
+  var.writer_epoch = epoch;
+  var.writer_site = site;
+  var.read_epoch.fill(0);
+}
+
+void Session::report(const std::string& message) {
+  std::lock_guard<std::mutex> guard(mu_);
+  report_locked(message);
+}
+
+void Session::report_locked(const std::string& message) {
+  if (diagnostics_.size() >= options_.max_diagnostics) {
+    ++dropped_diagnostics_;
+    return;
+  }
+  for (const std::string& d : diagnostics_)
+    if (d == message) return;  // dedup exact repeats
+  diagnostics_.push_back(message);
+}
+
+bool Session::ok() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return diagnostics_.empty() && dropped_diagnostics_ == 0;
+}
+
+std::vector<std::string> Session::diagnostics() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return diagnostics_;
+}
+
+std::string Session::report_text() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  std::ostringstream out;
+  out << "verify session (seed=" << options_.seed
+      << ", threads=" << options_.threads << "): ";
+  if (diagnostics_.empty()) {
+    out << "no violations\n";
+    return out.str();
+  }
+  out << diagnostics_.size() + dropped_diagnostics_ << " violation(s)\n";
+  for (const std::string& d : diagnostics_) out << "  * " << d << "\n";
+  if (dropped_diagnostics_ > 0)
+    out << "  (+" << dropped_diagnostics_ << " more dropped)\n";
+  out << "replay: rerun with the same seed; stale-value choices and chaos "
+         "schedules are pure functions of (seed, tid)\n";
+  return out.str();
+}
+
+ScopedBind::ScopedBind(Session* session, int tid)
+    : saved_session_(detail::tls_binding.session),
+      saved_tid_(detail::tls_binding.tid) {
+  if (session != nullptr) detail::tls_binding = {session, tid};
+}
+
+ScopedBind::~ScopedBind() {
+  detail::tls_binding = {saved_session_, saved_tid_};
+}
+
+}  // namespace wasp::verify

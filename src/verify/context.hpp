@@ -1,0 +1,207 @@
+// Verification session: the happens-before model behind checked_atomic.
+//
+// A Session models the C11 memory model for every instrumented operation
+// (see checked_atomic.hpp) issued by a bound thread:
+//
+//  * Each bound thread carries a vector clock; release stores snapshot it,
+//    acquire loads join it, fences arm pending release/acquire clocks per
+//    the C11 fence rules, and a global SC clock approximates the total order
+//    over seq_cst operations (strictly stronger than C11's S order, so the
+//    model never reports a behavior C11 forbids).
+//  * Each checked atomic keeps a bounded history of stores. A load may
+//    return any store not superseded by one the loading thread already
+//    "knows" (per its clock) — a seeded PRNG picks among the admissible
+//    stale values. This is what lets the mutation tester kill weakened
+//    orderings on x86, where the hardware would otherwise hide them: drop a
+//    release edge and the reader's clock stops excluding stale values, so
+//    the linearizability harness observes the resulting lost/duplicated
+//    elements. RMW operations always read the latest store (C11 atomicity)
+//    and continue release sequences.
+//  * Plain (non-atomic) cells annotated with WASP_VERIFY_RD/WR are checked
+//    for data races: an access that is not ordered after the previous
+//    conflicting access by happens-before is reported with both sites
+//    (file:line, thread, epoch).
+//
+// Sessions are scoped and exclusive (one at a time, enforced). Threads bind
+// with ScopedBind, mirroring chaos::ScopedInstall; unbound threads fall
+// through to plain std::atomic behavior, so code under instrumentation runs
+// unchanged outside a session.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <source_location>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "support/random.hpp"
+#include "verify/vector_clock.hpp"
+
+namespace wasp::verify {
+
+/// A stable code location (source_location::file_name has static storage).
+struct Site {
+  const char* file = "?";
+  std::uint32_t line = 0;
+};
+
+inline Site site_of(const std::source_location& loc) {
+  return Site{loc.file_name(), loc.line()};
+}
+
+/// Short "file.hpp:123" form (basename only) for diagnostics.
+std::string site_str(const Site& s);
+
+class Session {
+ public:
+  struct Options {
+    int threads = 2;               ///< logical threads the run will bind
+    std::uint64_t seed = 1;        ///< drives the stale-value PRNG streams
+    int history_window = 12;       ///< per-object store history bound
+    std::uint16_t stale_rate = 32768;  ///< P(prefer stale)/65536 per load
+    std::size_t max_diagnostics = 64;
+  };
+
+  explicit Session(const Options& options);
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// The installed session, or nullptr. At most one exists at a time.
+  static Session* current();
+
+  /// The session the calling thread is bound to (via ScopedBind), with its
+  /// logical tid; nullptr when unbound or the session is gone.
+  static Session* bound(int& tid);
+
+  [[nodiscard]] const Options& options() const { return options_; }
+  [[nodiscard]] std::uint64_t generation() const { return generation_; }
+
+  /// The model lock. Every instrumented operation runs under it, so model
+  /// state needs no further synchronization (and the lock doubles as the
+  /// real-hardware ordering that keeps the *actual* execution well-defined
+  /// while the model tracks the weak behaviors).
+  [[nodiscard]] std::mutex& mu() { return mu_; }
+
+  // --- per-thread model state (call with mu_ held) -----------------------
+  struct ThreadState {
+    VectorClock clock;
+    VectorClock pending_release;   ///< armed by a release fence
+    bool has_pending_release = false;
+    VectorClock pending_acquire;   ///< accumulated by relaxed loads
+    Xoshiro256 rng{1};
+  };
+
+  ThreadState& thread_state(int tid) {
+    return threads_[static_cast<std::size_t>(tid)];
+  }
+  VectorClock& sc_clock() { return sc_clock_; }
+
+  /// Advances thread `tid`'s event counter; returns the new epoch.
+  std::uint32_t bump_epoch(int tid) {
+    auto& st = threads_[static_cast<std::size_t>(tid)];
+    st.clock.bump(tid);
+    return st.clock.of(tid);
+  }
+
+  /// Picks a store index in [lo, hi] (hi = latest): latest with probability
+  /// 1 - stale_rate/65536, otherwise uniform over the admissible window.
+  std::size_t pick_index(int tid, std::size_t lo, std::size_t hi);
+
+  /// C11 fence semantics for a bound thread (takes mu_ itself).
+  void fence(int tid, std::memory_order order);
+
+  // --- plain-access race checker -----------------------------------------
+  void on_plain_read(int tid, const void* addr, Site site);
+  void on_plain_write(int tid, const void* addr, Site site);
+
+  // --- diagnostics -------------------------------------------------------
+  /// Records a model violation (takes mu_ unless already held — use the
+  /// _locked variant from instrumented code).
+  void report(const std::string& message);
+  void report_locked(const std::string& message);
+
+  [[nodiscard]] bool ok() const;
+  [[nodiscard]] std::vector<std::string> diagnostics() const;
+  /// Multi-line report naming the seed so a failure replays.
+  [[nodiscard]] std::string report_text() const;
+
+ private:
+  struct PlainVar {
+    int writer_tid = -1;
+    std::uint32_t writer_epoch = 0;
+    Site writer_site{};
+    std::array<std::uint32_t, kMaxVerifyThreads> read_epoch{};
+    std::array<Site, kMaxVerifyThreads> read_site{};
+  };
+
+  Options options_;
+  std::uint64_t generation_;
+  mutable std::mutex mu_;
+  std::vector<ThreadState> threads_;
+  VectorClock sc_clock_;
+  std::unordered_map<const void*, PlainVar> plain_;
+  std::vector<std::string> diagnostics_;
+  std::size_t dropped_diagnostics_ = 0;
+};
+
+/// Binds the calling thread to `session` as logical thread `tid` for the
+/// guard's lifetime. A null session is a no-op, so callers can thread an
+/// optional session through unconditionally (chaos::ScopedInstall idiom).
+class ScopedBind {
+ public:
+  ScopedBind(Session* session, int tid);
+  ~ScopedBind();
+
+  ScopedBind(const ScopedBind&) = delete;
+  ScopedBind& operator=(const ScopedBind&) = delete;
+
+ private:
+  Session* saved_session_;
+  int saved_tid_;
+};
+
+namespace detail {
+struct Binding {
+  Session* session = nullptr;
+  int tid = -1;
+};
+// constinit: no TLS init-guard on the instrumentation hot path (same
+// rationale as chaos::detail::tls_binding).
+inline constinit thread_local Binding tls_binding{};
+inline constinit std::atomic<Session*> g_session{nullptr};
+inline constinit std::atomic<std::uint64_t> g_generation{0};
+}  // namespace detail
+
+inline Session* Session::current() {
+  return detail::g_session.load(std::memory_order_acquire);
+}
+
+inline Session* Session::bound(int& tid) {
+  const detail::Binding& b = detail::tls_binding;
+  if (b.session == nullptr ||
+      b.session != detail::g_session.load(std::memory_order_acquire))
+    return nullptr;
+  tid = b.tid;
+  return b.session;
+}
+
+/// Plain-access annotation entry points (used via WASP_VERIFY_RD/WR).
+inline void plain_read(
+    const void* addr,
+    std::source_location loc = std::source_location::current()) {
+  int tid;
+  if (Session* s = Session::bound(tid)) s->on_plain_read(tid, addr, site_of(loc));
+}
+
+inline void plain_write(
+    const void* addr,
+    std::source_location loc = std::source_location::current()) {
+  int tid;
+  if (Session* s = Session::bound(tid)) s->on_plain_write(tid, addr, site_of(loc));
+}
+
+}  // namespace wasp::verify

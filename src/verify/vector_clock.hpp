@@ -1,0 +1,43 @@
+// Vector clocks for the happens-before model of the verification subsystem
+// (docs/CONCURRENCY.md). One component per logical verification thread; the
+// component of thread t counts t's instrumented events, so "clock A knows
+// event (t, e)" is the usual componentwise test A[t] >= e.
+//
+// Capacity is a small compile-time constant: verification sessions model a
+// handful of worker threads, not production thread counts, and a fixed-size
+// array keeps join/compare loops branch-free and allocation-free.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+
+namespace wasp::verify {
+
+/// Most logical threads a verification session can bind at once.
+inline constexpr int kMaxVerifyThreads = 32;
+
+struct VectorClock {
+  std::array<std::uint32_t, kMaxVerifyThreads> c{};
+
+  /// Componentwise maximum (the happens-before join).
+  void join(const VectorClock& o) {
+    for (int i = 0; i < kMaxVerifyThreads; ++i) c[static_cast<std::size_t>(i)] =
+        std::max(c[static_cast<std::size_t>(i)], o.c[static_cast<std::size_t>(i)]);
+  }
+
+  /// True when this clock has observed event number `epoch` of thread `tid`.
+  [[nodiscard]] bool knows(int tid, std::uint32_t epoch) const {
+    return c[static_cast<std::size_t>(tid)] >= epoch;
+  }
+
+  [[nodiscard]] std::uint32_t of(int tid) const {
+    return c[static_cast<std::size_t>(tid)];
+  }
+
+  void bump(int tid) { ++c[static_cast<std::size_t>(tid)]; }
+
+  void clear() { c.fill(0); }
+};
+
+}  // namespace wasp::verify

@@ -84,8 +84,11 @@ TEST(TerminationStress, ImmediateTerminationOnEdgelessGraph) {
   options.threads = 8;
   const SsspResult r = run_sssp(g, 7, options);
   EXPECT_EQ(r.dist[7], 0u);
-  for (VertexId v = 0; v < 64; ++v)
-    if (v != 7) EXPECT_EQ(r.dist[v], kInfDist);
+  for (VertexId v = 0; v < 64; ++v) {
+    if (v != 7) {
+      EXPECT_EQ(r.dist[v], kInfDist);
+    }
+  }
 }
 
 }  // namespace

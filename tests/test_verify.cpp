@@ -1,0 +1,789 @@
+// Tests for the concurrency verification suite (src/verify/): the
+// happens-before / weak-memory model, the plain-access race checker, and
+// the Wing–Gong linearizability harness over Wasp's concurrent containers.
+//
+// The harness tests double as the kill mechanism for the memory-order
+// mutation tester (tools/lint/atomics_audit.py): under WASP_VERIFY they
+// drive each structure through hundreds of seeded sessions in which loads
+// may legally return stale values, so a weakened release/acquire/seq_cst
+// annotation surfaces as a linearizability violation, a reported data race,
+// or broken conservation. In default builds the same harnesses still run as
+// plain-hardware stress tests with linearizability checking (the model
+// layer folds away); tests that *require* weak behaviors to be observable
+// are compiled only under WASP_VERIFY_ENABLED.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "concurrent/chase_lev_deque.hpp"
+#include "concurrent/chunk.hpp"
+#include "concurrent/frontier_bag.hpp"
+#include "concurrent/multiqueue.hpp"
+#include "concurrent/spinlock.hpp"
+#include "concurrent/stealing_multiqueue.hpp"
+#include "support/chaos.hpp"
+#include "support/random.hpp"
+#include "verify/checked_atomic.hpp"
+#include "verify/context.hpp"
+#include "verify/linearize.hpp"
+
+namespace wasp {
+namespace {
+
+#if defined(WASP_VERIFY_ENABLED) && WASP_VERIFY_ENABLED
+constexpr bool kModelOn = true;
+constexpr int kHarnessSeeds = 500;  // seeded histories per structure
+#else
+constexpr bool kModelOn = false;
+constexpr int kHarnessSeeds = 60;  // plain stress flavor: keep tier-1 fast
+#endif
+
+using verify::BagSpec;
+using verify::DequeSpec;
+using verify::HistoryRecorder;
+using verify::linearize;
+using verify::Op;
+using verify::PoolSpec;
+using verify::Session;
+
+/// Runs `fn(tid)` on `threads` std::threads, each bound to `session` and to
+/// a chaos engine stream, mirroring how sssp drivers install both.
+template <typename Fn>
+void run_bound(Session& session, chaos::Engine* engine, int threads, Fn fn) {
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      chaos::ScopedInstall chaos_guard(engine, t);
+      verify::ScopedBind bind(&session, t);
+      fn(t);
+    });
+  }
+  for (auto& th : pool) th.join();
+}
+
+/// Spin barrier built from checked atomics, so phase separation is visible
+/// to the happens-before model (a pthread barrier would order the real
+/// execution but leave no edge in the model).
+class ModelBarrier {
+ public:
+  explicit ModelBarrier(int n) : n_(n) {}
+
+  void wait() {
+    const int ph = phase_.load(std::memory_order_acquire);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) == n_ - 1) {
+      arrived_.store(0, std::memory_order_relaxed);
+      phase_.store(ph + 1, std::memory_order_release);
+    } else {
+      while (phase_.load(std::memory_order_acquire) == ph) {
+        std::this_thread::yield();
+      }
+    }
+  }
+
+ private:
+  const int n_;
+  verify::atomic<int> arrived_{0};
+  verify::atomic<int> phase_{0};
+};
+
+/// Seed range for the harness loops: all of [0, kHarnessSeeds) normally, or
+/// exactly the one seed named by WASP_VERIFY_SEED=<n> — every harness
+/// failure message prints the seed, so a reported failure replays with that
+/// seed pinned here (schedules and stale-load choices are deterministic per
+/// seed).
+struct SeedRange {
+  std::uint64_t first = 0;
+  std::uint64_t last = kHarnessSeeds;  ///< exclusive
+};
+
+SeedRange harness_seeds() {
+  SeedRange r;
+  if (const char* pin = std::getenv("WASP_VERIFY_SEED")) {
+    r.first = std::strtoull(pin, nullptr, 10);
+    r.last = r.first + 1;
+  }
+  return r;
+}
+
+Session::Options session_options(int threads, std::uint64_t seed) {
+  Session::Options o;
+  o.threads = threads;
+  o.seed = seed;
+  return o;
+}
+
+// --- linearizability checker self-tests (flavor independent) --------------
+
+Op mk(int tid, int kind, std::uint64_t a, std::uint64_t r, bool ok,
+      std::uint64_t inv, std::uint64_t res) {
+  Op op;
+  op.tid = tid;
+  op.kind = kind;
+  op.a = a;
+  op.r = r;
+  op.ok = ok;
+  op.inv = inv;
+  op.res = res;
+  return op;
+}
+
+TEST(Linearize, AcceptsSequentialDequeHistory) {
+  std::vector<std::vector<Op>> h(2);
+  h[0] = {mk(0, DequeSpec::kPush, 1, 0, true, 0, 1),
+          mk(0, DequeSpec::kPush, 2, 0, true, 2, 3)};
+  h[1] = {mk(1, DequeSpec::kSteal, 0, 1, true, 4, 5)};
+  EXPECT_TRUE(linearize<DequeSpec>(h).ok);
+}
+
+TEST(Linearize, RejectsStealFromWrongEnd) {
+  // push(1); push(2); then a steal that returns 2: FIFO order violated, and
+  // the operations do not overlap, so no reordering can save it.
+  std::vector<std::vector<Op>> h(2);
+  h[0] = {mk(0, DequeSpec::kPush, 1, 0, true, 0, 1),
+          mk(0, DequeSpec::kPush, 2, 0, true, 2, 3)};
+  h[1] = {mk(1, DequeSpec::kSteal, 0, 2, true, 4, 5)};
+  const auto r = linearize<DequeSpec>(h);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.explanation.find("not linearizable"), std::string::npos);
+}
+
+TEST(Linearize, RejectsNullPopOnNonEmptyDeque) {
+  std::vector<std::vector<Op>> h(1);
+  h[0] = {mk(0, DequeSpec::kPush, 7, 0, true, 0, 1),
+          mk(0, DequeSpec::kPopBottom, 0, 0, false, 2, 3)};
+  EXPECT_FALSE(linearize<DequeSpec>(h).ok);
+}
+
+TEST(Linearize, AllowsOverlappingReorder) {
+  // pop_bottom -> 2 responds before push(2) "happened" in program-text
+  // order of the other thread, but the ops overlap, so a valid
+  // linearization (push(1); push(2); pop->2) exists.
+  std::vector<std::vector<Op>> h(2);
+  h[0] = {mk(0, DequeSpec::kPush, 1, 0, true, 0, 1),
+          mk(0, DequeSpec::kPush, 2, 0, true, 2, 6)};
+  h[1] = {mk(1, DequeSpec::kPopBottom, 0, 2, true, 3, 5)};
+  EXPECT_TRUE(linearize<DequeSpec>(h).ok);
+}
+
+TEST(Linearize, BagRejectsInventedElement) {
+  std::vector<std::vector<Op>> h(1);
+  Op pop = mk(0, BagSpec::kPop, 0, 9, true, 0, 1);
+  pop.b = 9;
+  h[0] = {pop};
+  EXPECT_FALSE(linearize<BagSpec>(h).ok);
+}
+
+TEST(Linearize, BagRejectsDuplicatedPop) {
+  std::vector<std::vector<Op>> h(2);
+  Op push = mk(0, BagSpec::kPush, 5, 0, true, 0, 1);
+  push.b = 77;
+  Op pop1 = mk(0, BagSpec::kPop, 0, 5, true, 2, 3);
+  pop1.b = 77;
+  Op pop2 = mk(1, BagSpec::kPop, 0, 5, true, 4, 5);
+  pop2.b = 77;
+  h[0] = {push, pop1};
+  h[1] = {pop2};
+  EXPECT_FALSE(linearize<BagSpec>(h).ok);
+}
+
+TEST(Linearize, BagAllowsSpuriousEmpty) {
+  std::vector<std::vector<Op>> h(2);
+  Op push = mk(0, BagSpec::kPush, 5, 0, true, 0, 1);
+  push.b = 1;
+  h[0] = {push};
+  h[1] = {mk(1, BagSpec::kPop, 0, 0, false, 0, 1)};
+  EXPECT_TRUE(linearize<BagSpec>(h).ok);
+}
+
+TEST(Linearize, PoolRejectsDoubleAllocation) {
+  std::vector<std::vector<Op>> h(2);
+  h[0] = {mk(0, PoolSpec::kGet, 0, 0xA, true, 0, 1)};
+  h[1] = {mk(1, PoolSpec::kGet, 0, 0xA, true, 2, 3)};
+  EXPECT_FALSE(linearize<PoolSpec>(h).ok);
+}
+
+// --- weak-memory model litmus tests (need the model) ----------------------
+
+#if defined(WASP_VERIFY_ENABLED) && WASP_VERIFY_ENABLED
+
+TEST(VerifyModel, MessagePassingRelaxedObservesStaleData) {
+  // MP litmus: with relaxed publication the reader may see flag==1 yet
+  // data==0. The model must exhibit this on x86, where hardware never
+  // would — this is the property the whole mutation tester rests on.
+  int stale_runs = 0;
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    verify::atomic<int> data{0};
+    verify::atomic<int> flag{0};
+    int seen = -1;
+    Session session(session_options(2, seed));
+    run_bound(session, nullptr, 2, [&](int tid) {
+      if (tid == 0) {
+        data.store(42, std::memory_order_relaxed);
+        flag.store(1, std::memory_order_relaxed);
+      } else {
+        while (flag.load(std::memory_order_relaxed) != 1) {
+        }
+        seen = data.load(std::memory_order_relaxed);
+      }
+    });
+    ASSERT_TRUE(session.ok()) << session.report_text();
+    if (seen == 0) ++stale_runs;
+  }
+  EXPECT_GT(stale_runs, 0)
+      << "the model never produced a stale read; weakened release/acquire "
+         "mutants would be unkillable";
+}
+
+TEST(VerifyModel, MessagePassingReleaseAcquireNeverStale) {
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    verify::atomic<int> data{0};
+    verify::atomic<int> flag{0};
+    int seen = -1;
+    Session session(session_options(2, seed));
+    run_bound(session, nullptr, 2, [&](int tid) {
+      if (tid == 0) {
+        data.store(42, std::memory_order_relaxed);
+        flag.store(1, std::memory_order_release);
+      } else {
+        while (flag.load(std::memory_order_acquire) != 1) {
+        }
+        seen = data.load(std::memory_order_relaxed);
+      }
+    });
+    ASSERT_TRUE(session.ok()) << session.report_text();
+    ASSERT_EQ(seen, 42) << "release/acquire edge ignored at seed " << seed;
+  }
+}
+
+TEST(VerifyModel, ReleaseFenceArmsSubsequentRelaxedStore) {
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    verify::atomic<int> data{0};
+    verify::atomic<int> flag{0};
+    int seen = -1;
+    Session session(session_options(2, seed));
+    run_bound(session, nullptr, 2, [&](int tid) {
+      if (tid == 0) {
+        data.store(42, std::memory_order_relaxed);
+        verify::thread_fence(std::memory_order_release);
+        flag.store(1, std::memory_order_relaxed);
+      } else {
+        while (flag.load(std::memory_order_relaxed) != 1) {
+        }
+        verify::thread_fence(std::memory_order_acquire);
+        seen = data.load(std::memory_order_relaxed);
+      }
+    });
+    ASSERT_TRUE(session.ok()) << session.report_text();
+    ASSERT_EQ(seen, 42) << "fence pair ignored at seed " << seed;
+  }
+}
+
+TEST(VerifyModel, SeqCstFencesForbidStoreBufferingBothZero) {
+  // SB litmus: r0 == r1 == 0 is forbidden with seq_cst fences. This is the
+  // edge pop_bottom/steal rely on; its mutant must be observable.
+  int both_zero_unfenced = 0;
+  for (int fenced = 1; fenced >= 0; --fenced) {
+    for (std::uint64_t seed = 0; seed < 200; ++seed) {
+      verify::atomic<int> x{0};
+      verify::atomic<int> y{0};
+      int r0 = -1, r1 = -1;
+      Session session(session_options(2, seed));
+      run_bound(session, nullptr, 2, [&](int tid) {
+        if (tid == 0) {
+          x.store(1, std::memory_order_relaxed);
+          if (fenced) verify::thread_fence(std::memory_order_seq_cst);
+          r0 = y.load(std::memory_order_relaxed);
+        } else {
+          y.store(1, std::memory_order_relaxed);
+          if (fenced) verify::thread_fence(std::memory_order_seq_cst);
+          r1 = x.load(std::memory_order_relaxed);
+        }
+      });
+      ASSERT_TRUE(session.ok()) << session.report_text();
+      if (fenced) {
+        ASSERT_FALSE(r0 == 0 && r1 == 0)
+            << "seq_cst fences failed to forbid both-zero at seed " << seed;
+      } else if (r0 == 0 && r1 == 0) {
+        ++both_zero_unfenced;
+      }
+    }
+  }
+  EXPECT_GT(both_zero_unfenced, 0)
+      << "the model never exhibited store buffering; seq_cst-fence mutants "
+         "would be unkillable";
+}
+
+TEST(VerifyModel, RmwAtomicityIsExact) {
+  verify::atomic<std::int64_t> counter{0};
+  Session session(session_options(3, 7));
+  run_bound(session, nullptr, 3, [&](int) {
+    for (int i = 0; i < 200; ++i)
+      counter.fetch_add(1, std::memory_order_relaxed);
+  });
+  ASSERT_TRUE(session.ok()) << session.report_text();
+  EXPECT_EQ(counter.load(std::memory_order_relaxed), 600)
+      << "RMWs must read the latest store (C11 atomicity), never stale";
+}
+
+TEST(VerifySession, PlainRaceDetected) {
+  int cell = 0;
+  Session session(session_options(2, 3));
+  run_bound(session, nullptr, 2, [&](int tid) {
+    if (tid == 0) {
+      WASP_VERIFY_WR(&cell);
+      cell = 1;
+    } else {
+      WASP_VERIFY_RD(&cell);
+      (void)cell;
+    }
+  });
+  EXPECT_FALSE(session.ok());
+  const std::string report = session.report_text();
+  EXPECT_NE(report.find("data race"), std::string::npos) << report;
+  EXPECT_NE(report.find("test_verify.cpp"), std::string::npos)
+      << "diagnostics must carry the access sites: " << report;
+  EXPECT_NE(report.find("seed"), std::string::npos)
+      << "diagnostics must name the seed for replay: " << report;
+}
+
+TEST(VerifySession, PlainAccessOrderedByReleaseAcquireIsClean) {
+  int cell = 0;
+  verify::atomic<int> flag{0};
+  Session session(session_options(2, 3));
+  run_bound(session, nullptr, 2, [&](int tid) {
+    if (tid == 0) {
+      WASP_VERIFY_WR(&cell);
+      cell = 1;
+      flag.store(1, std::memory_order_release);
+    } else {
+      while (flag.load(std::memory_order_acquire) != 1) {
+      }
+      WASP_VERIFY_RD(&cell);
+      (void)cell;
+    }
+  });
+  EXPECT_TRUE(session.ok()) << session.report_text();
+}
+
+// --- a deliberately buggy structure the checker must reject ---------------
+
+/// Treiber stack with every ordering deliberately relaxed: the node payload
+/// is published without a release edge. The checker must catch it.
+template <std::memory_order kCasOrder>
+class ToyStack {
+ public:
+  struct Node {
+    std::uint64_t value = 0;
+    Node* next = nullptr;
+  };
+
+  void push(Node* n, std::uint64_t v) {
+    WASP_VERIFY_WR(n);
+    n->value = v;
+    Node* h = head_.load(std::memory_order_relaxed);
+    do {
+      n->next = h;
+    } while (!head_.compare_exchange_weak(h, n, kCasOrder,
+                                          std::memory_order_relaxed));
+  }
+
+  bool pop(std::uint64_t& v) {
+    Node* h = head_.load(std::memory_order_relaxed);
+    while (h != nullptr) {
+      if (head_.compare_exchange_weak(h, h->next, kCasOrder,
+                                      std::memory_order_relaxed)) {
+        WASP_VERIFY_RD(h);
+        v = h->value;
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  verify::atomic<Node*> head_{nullptr};
+};
+
+template <std::memory_order kCasOrder>
+bool toy_stack_run_clean(std::uint64_t seed) {
+  ToyStack<kCasOrder> stack;
+  std::vector<typename ToyStack<kCasOrder>::Node> nodes(50);
+  verify::atomic<int> done{0};
+  Session session(session_options(2, seed));
+  run_bound(session, nullptr, 2, [&](int tid) {
+    if (tid == 0) {
+      for (std::size_t i = 0; i < nodes.size(); ++i)
+        stack.push(&nodes[i], 100 + i);
+      done.store(1, std::memory_order_relaxed);
+    } else {
+      std::uint64_t v;
+      for (;;) {
+        const bool got = stack.pop(v);
+        if (!got && done.load(std::memory_order_relaxed) == 1) break;
+      }
+    }
+  });
+  return session.ok();
+}
+
+TEST(ToyStack, CheckerRejectsRelaxedPublication) {
+  EXPECT_FALSE(toy_stack_run_clean<std::memory_order_relaxed>(11))
+      << "the buggy toy stack was not flagged: the race checker is blind";
+}
+
+TEST(ToyStack, CheckerAcceptsAcqRelPublication) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed)
+    EXPECT_TRUE(toy_stack_run_clean<std::memory_order_acq_rel>(seed));
+}
+
+#endif  // WASP_VERIFY_ENABLED
+
+// --- seeded linearizability harnesses over the real structures ------------
+//
+// Each harness runs kHarnessSeeds independent sessions. Under WASP_VERIFY
+// the session's weak-memory model and the chaos engine perturb the run; the
+// recorded history must stay linearizable, the session race-free, and the
+// element multiset conserved.
+
+using HarnessChunk = BasicChunk<4>;
+
+struct DequeRunStats {
+  std::uint64_t budget_exhausted = 0;
+};
+
+void deque_harness_one_seed(std::uint64_t seed, DequeRunStats& stats) {
+  constexpr int kThreads = 3;  // owner + 2 thieves
+  constexpr int kOwnerOps = 30;
+  constexpr int kThiefOps = 12;
+
+  // Initial capacity 2 forces ring growth mid-run, so the grow/publish
+  // protocol is exercised in every history.
+  ChaseLevDeque<HarnessChunk*> deque(2);
+  std::vector<HarnessChunk> chunks(kOwnerOps);
+  HistoryRecorder rec(kThreads);
+  chaos::Engine engine(seed, chaos::Policy::uniform(4096), kThreads);
+  std::vector<std::uint64_t> drained_sum(kThreads, 0);
+  std::uint64_t pushed_sum = 0;
+
+  auto drain = [](HarnessChunk* c) {
+    std::uint64_t sum = 0;
+    while (!c->empty()) sum += c->pop();
+    return sum;
+  };
+
+  Session session(session_options(kThreads, seed));
+  run_bound(session, &engine, kThreads, [&](int tid) {
+    Xoshiro256 rng(hash_mix(seed * 31 + static_cast<std::uint64_t>(tid)));
+    if (tid == 0) {
+      int next_chunk = 0;
+      for (int i = 0; i < kOwnerOps; ++i) {
+        if (next_chunk < kOwnerOps && (rng.next_below(100) < 55 ||
+                                       deque.empty_estimate())) {
+          HarnessChunk* c = &chunks[next_chunk++];
+          const auto fill = 1 + static_cast<std::uint32_t>(rng.next_below(3));
+          std::uint64_t sum = 0;
+          for (std::uint32_t k = 0; k < fill; ++k) {
+            const auto v = static_cast<VertexId>(rng.next_below(1000) + 1);
+            c->push(v);
+            sum += v;
+          }
+          pushed_sum += sum;
+          Op op = rec.begin(tid, DequeSpec::kPush,
+                            reinterpret_cast<std::uint64_t>(c));
+          deque.push_bottom(c);
+          rec.end(op);
+        } else {
+          Op op = rec.begin(tid, DequeSpec::kPopBottom);
+          HarnessChunk* c = deque.pop_bottom();
+          op.ok = c != nullptr;
+          op.r = reinterpret_cast<std::uint64_t>(c);
+          rec.end(op);
+          if (c != nullptr) drained_sum[0] += drain(c);
+        }
+      }
+    } else {
+      for (int i = 0; i < kThiefOps; ++i) {
+        Op op = rec.begin(tid, DequeSpec::kSteal);
+        HarnessChunk* c = deque.steal();
+        op.ok = c != nullptr;
+        op.r = reinterpret_cast<std::uint64_t>(c);
+        rec.end(op);
+        if (c != nullptr) {
+          drained_sum[static_cast<std::size_t>(tid)] += drain(c);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    }
+  });
+
+  ASSERT_TRUE(session.ok()) << "seed " << seed << ":\n"
+                            << session.report_text();
+
+  // Quiescent drain (unbound: plain hardware reads see the latest values).
+  std::uint64_t remaining_sum = 0;
+  std::set<HarnessChunk*> seen;
+  auto by_thread = rec.collect();
+  for (HarnessChunk* c = deque.pop_bottom(); c != nullptr;
+       c = deque.pop_bottom()) {
+    remaining_sum += drain(c);
+    ASSERT_TRUE(seen.insert(c).second)
+        << "seed " << seed << ": chunk drained twice at quiescence";
+  }
+
+  // Conservation: every vertex pushed into a chunk is drained exactly once.
+  std::uint64_t drained_total = remaining_sum;
+  for (int t = 0; t < kThreads; ++t)
+    drained_total += drained_sum[static_cast<std::size_t>(t)];
+  ASSERT_EQ(drained_total, pushed_sum)
+      << "seed " << seed << ": elements lost or duplicated";
+
+  // No chunk may be handed to two consumers.
+  for (const auto& ops : by_thread)
+    for (const Op& op : ops)
+      if (op.kind != DequeSpec::kPush && op.ok) {
+        ASSERT_TRUE(seen.insert(reinterpret_cast<HarnessChunk*>(op.r)).second)
+            << "seed " << seed << ": chunk consumed twice";
+      }
+
+  const auto lin = linearize<DequeSpec>(by_thread);
+  if (lin.budget_exhausted) ++stats.budget_exhausted;
+  ASSERT_TRUE(lin.ok) << "seed " << seed << ":\n" << lin.explanation;
+}
+
+TEST(DequeHarness, SeededHistoriesLinearizeAndConserve) {
+  DequeRunStats stats;
+  const SeedRange seeds = harness_seeds();
+  for (std::uint64_t seed = seeds.first; seed < seeds.last; ++seed) {
+    deque_harness_one_seed(seed, stats);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  // If the search gives up too often the harness proves nothing.
+  EXPECT_LT(stats.budget_exhausted, kHarnessSeeds / 10U);
+}
+
+template <typename Queue>
+void bag_harness_one_seed(std::uint64_t seed, Queue& queue, int threads,
+                          int pushes_per_thread) {
+  HistoryRecorder rec(threads);
+  chaos::Engine engine(seed, chaos::Policy::uniform(4096), threads);
+  Session session(session_options(threads, seed));
+  run_bound(session, &engine, threads, [&](int tid) {
+    Xoshiro256 rng(hash_mix(seed * 131 + static_cast<std::uint64_t>(tid)));
+    int pushed = 0;
+    const int ops = pushes_per_thread * 2;
+    for (int i = 0; i < ops; ++i) {
+      if (pushed < pushes_per_thread && rng.next_below(100) < 60) {
+        const auto key = static_cast<Distance>(rng.next_below(8));
+        const auto value = static_cast<VertexId>(
+            (static_cast<std::uint64_t>(tid) << 20) |
+            static_cast<std::uint64_t>(pushed));
+        Op op = rec.begin(tid, BagSpec::kPush, key, value);
+        queue.push(tid, key, value);
+        rec.end(op);
+        ++pushed;
+      } else {
+        Distance key;
+        VertexId value;
+        Op op = rec.begin(tid, BagSpec::kPop);
+        op.ok = queue.try_pop(tid, key, value);
+        if (op.ok) {
+          op.r = key;
+          op.b = value;
+        }
+        rec.end(op);
+      }
+    }
+  });
+
+  ASSERT_TRUE(session.ok()) << "seed " << seed << ":\n"
+                            << session.report_text();
+
+  // Conservation at quiescence: pushed == popped + drained, as multisets.
+  std::map<std::pair<Distance, VertexId>, int> balance;
+  const auto by_thread = rec.collect();
+  for (const auto& ops : by_thread) {
+    for (const Op& op : ops) {
+      if (op.kind == BagSpec::kPush) {
+        ++balance[{static_cast<Distance>(op.a),
+                   static_cast<VertexId>(op.b)}];
+      } else if (op.ok) {
+        --balance[{static_cast<Distance>(op.r),
+                   static_cast<VertexId>(op.b)}];
+      }
+    }
+  }
+  bool drained_any = true;
+  while (drained_any) {
+    drained_any = false;
+    for (int t = 0; t < threads; ++t) {
+      Distance key;
+      VertexId value;
+      while (queue.try_pop(t, key, value)) {
+        --balance[{key, value}];
+        drained_any = true;
+      }
+    }
+  }
+  for (const auto& [elem, count] : balance)
+    ASSERT_EQ(count, 0) << "seed " << seed << ": element (" << elem.first
+                        << "," << elem.second
+                        << ") lost or duplicated (balance " << count << ")";
+
+  const auto lin = linearize<BagSpec>(by_thread);
+  ASSERT_TRUE(lin.ok) << "seed " << seed << ":\n" << lin.explanation;
+}
+
+TEST(MultiQueueHarness, SeededHistoriesLinearizeAndConserve) {
+  const SeedRange seeds = harness_seeds();
+  for (std::uint64_t seed = seeds.first; seed < seeds.last; ++seed) {
+    MultiQueue::Config cfg;
+    cfg.threads = 3;
+    cfg.c = 2;
+    cfg.buffer_size = 4;
+    cfg.stickiness = 2;
+    cfg.seed = seed + 1;
+    MultiQueue mq(cfg);
+    bag_harness_one_seed(seed, mq, cfg.threads, 10);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(StealingMultiQueueHarness, SeededHistoriesLinearizeAndConserve) {
+  const SeedRange seeds = harness_seeds();
+  for (std::uint64_t seed = seeds.first; seed < seeds.last; ++seed) {
+    StealingMultiQueue::Config cfg;
+    cfg.threads = 3;
+    cfg.steal_batch = 2;
+    cfg.seed = seed + 1;
+    StealingMultiQueue smq(cfg);
+    bag_harness_one_seed(seed, smq, cfg.threads, 10);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(ChunkPoolHarness, SeededHistoriesKeepOwnershipExclusive) {
+  const SeedRange seeds = harness_seeds();
+  for (std::uint64_t seed = seeds.first; seed < seeds.last; ++seed) {
+    constexpr int kThreads = 3;
+    BasicChunkArena<HarnessChunk> arena;
+    HistoryRecorder rec(kThreads);
+    chaos::Engine engine(seed, chaos::Policy::alloc_pressure(), kThreads);
+    Session session(session_options(kThreads, seed));
+    run_bound(session, &engine, kThreads, [&](int tid) {
+      BasicChunkPool<HarnessChunk> pool(arena, /*block_size=*/4);
+      Xoshiro256 rng(hash_mix(seed * 17 + static_cast<std::uint64_t>(tid)));
+      std::vector<HarnessChunk*> held;
+      for (int i = 0; i < 24; ++i) {
+        if (held.empty() || rng.next_below(100) < 60) {
+          Op op = rec.begin(tid, PoolSpec::kGet);
+          HarnessChunk* c = pool.get();
+          op.r = reinterpret_cast<std::uint64_t>(c);
+          rec.end(op);
+          c->push(static_cast<VertexId>(i));  // touch: ownership must hold
+          held.push_back(c);
+        } else {
+          HarnessChunk* c = held.back();
+          held.pop_back();
+          c->reset();
+          Op op = rec.begin(tid, PoolSpec::kPut,
+                            reinterpret_cast<std::uint64_t>(c));
+          pool.put(c);
+          rec.end(op);
+        }
+      }
+    });
+    ASSERT_TRUE(session.ok()) << "seed " << seed << ":\n"
+                              << session.report_text();
+    const auto lin = linearize<PoolSpec>(rec.collect());
+    ASSERT_TRUE(lin.ok) << "seed " << seed << ":\n" << lin.explanation;
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(SpinLockHarness, LockAndTryLockOrderPlainWrites) {
+  // Exercises both acquisition paths (lock and try_lock spin) against the
+  // race checker: a weakened exchange-acquire or unlock-release makes the
+  // next holder's clock miss the previous holder's plain write.
+  const SeedRange seeds = harness_seeds();
+  for (std::uint64_t seed = seeds.first; seed < seeds.last; ++seed) {
+    SpinLock lock;
+    std::uint64_t counter = 0;
+    Session session(session_options(3, seed));
+    run_bound(session, nullptr, 3, [&](int tid) {
+      for (int i = 0; i < 40; ++i) {
+        if (tid == 2) {
+          while (!lock.try_lock()) std::this_thread::yield();
+        } else {
+          lock.lock();
+        }
+        WASP_VERIFY_WR(&counter);
+        ++counter;
+        lock.unlock();
+      }
+    });
+    ASSERT_TRUE(session.ok()) << "seed " << seed << ":\n"
+                              << session.report_text();
+    ASSERT_EQ(counter, 120U) << "seed " << seed << ": lost increment";
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(FrontierBagHarness, PhasedDisciplineIsRaceFree) {
+  const SeedRange seeds = harness_seeds();
+  for (std::uint64_t seed = seeds.first; seed < seeds.last; ++seed) {
+    constexpr int kThreads = 3;
+    FrontierBag bag(kThreads);
+    ModelBarrier barrier(kThreads);
+    std::vector<VertexId> out(kThreads * 8);
+    std::size_t total = 0;
+    Session session(session_options(kThreads, seed));
+    run_bound(session, nullptr, kThreads, [&](int tid) {
+      for (int i = 0; i < 8; ++i)
+        bag.insert(tid, static_cast<VertexId>(tid * 100 + i));
+      barrier.wait();
+      if (tid == 0) total = bag.compute_offsets();
+      barrier.wait();
+      bag.copy_out_and_clear(tid, out.data());
+    });
+    ASSERT_TRUE(session.ok()) << "seed " << seed << ":\n"
+                              << session.report_text();
+    ASSERT_EQ(total, out.size());
+    std::vector<VertexId> sorted = out;
+    std::sort(sorted.begin(), sorted.end());
+    for (int t = 0; t < kThreads; ++t)
+      for (int i = 0; i < 8; ++i)
+        ASSERT_TRUE(std::binary_search(sorted.begin(), sorted.end(),
+                                       static_cast<VertexId>(t * 100 + i)));
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+#if defined(WASP_VERIFY_ENABLED) && WASP_VERIFY_ENABLED
+TEST(FrontierBagHarness, UnorderedScanIsReportedAsRace) {
+  // compute_offsets concurrent with another thread's insert, no barrier:
+  // the phase discipline is violated and the checker must say so.
+  FrontierBag bag(2);
+  Session session(session_options(2, 5));
+  run_bound(session, nullptr, 2, [&](int tid) {
+    if (tid == 0) {
+      (void)bag.compute_offsets();
+    } else {
+      bag.insert(1, 42);
+    }
+  });
+  EXPECT_FALSE(session.ok())
+      << "an unsynchronized offset scan over live segments must be flagged";
+}
+#endif  // WASP_VERIFY_ENABLED
+
+}  // namespace
+}  // namespace wasp

@@ -129,8 +129,8 @@ INSTANTIATE_TEST_SUITE_P(Policies, WaspStealPolicies,
                          testing::Values(StealPolicy::kPriorityNuma,
                                          StealPolicy::kRandom,
                                          StealPolicy::kTwoChoice),
-                         [](const testing::TestParamInfo<StealPolicy>& info) {
-                           switch (info.param) {
+                         [](const testing::TestParamInfo<StealPolicy>& pinfo) {
+                           switch (pinfo.param) {
                              case StealPolicy::kPriorityNuma: return "priority";
                              case StealPolicy::kRandom: return "random";
                              case StealPolicy::kTwoChoice: return "twochoice";

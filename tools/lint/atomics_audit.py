@@ -1,0 +1,465 @@
+#!/usr/bin/env python3
+"""Memory-order discipline lint and mutation tester for the concurrent layer.
+
+Subcommands
+-----------
+  list      Enumerate every memory-order annotation site in scope, with its
+            stable mutant ID and the weakening that would be applied.
+  check     Lint mode (CI): reject implicit-seq_cst atomic operations, bare
+            `volatile`, and raw std::atomic / std::atomic_thread_fence usage
+            in the scoped files (they must go through verify::atomic /
+            verify::thread_fence so the WASP_VERIFY model sees them).
+  mutate    Apply a single mutant in place (debugging aid; restore with git).
+  test      The mutation run: weaken each ordering annotation one at a time,
+            rebuild test_verify in a WASP_VERIFY build tree, and require the
+            suite to kill the mutant. Survivors must be waived in
+            tools/lint/mutant_waivers.txt AND documented in
+            docs/CONCURRENCY.md, and the kill rate over non-waived mutants
+            must meet --kill-rate (default 0.9).
+
+A mutant ID is `<FILE-ABBREV>-<n>` where n is the 1-based ordinal of the
+ordering site in file order (top to bottom). IDs shift when sites are added
+or removed above them — `list` is the source of truth, and the waiver file
+is cross-checked against docs/CONCURRENCY.md so a stale waiver is caught.
+
+Only the standard library is used; no dependencies.
+"""
+
+import argparse
+import json
+import re
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+# --- scope ----------------------------------------------------------------
+
+REPO = Path(__file__).resolve().parents[2]
+
+LINT_SCOPE = [
+    "src/concurrent/chase_lev_deque.hpp",
+    "src/concurrent/chunk.hpp",
+    "src/concurrent/dary_heap.hpp",
+    "src/concurrent/frontier_bag.hpp",
+    "src/concurrent/multiqueue.hpp",
+    "src/concurrent/multiqueue.cpp",
+    "src/concurrent/spinlock.hpp",
+    "src/concurrent/stealing_multiqueue.hpp",
+    "src/sssp/wasp.cpp",
+]
+
+# Default mutation targets: the two structures named by the acceptance
+# criteria plus the spinlock, which is the only load-bearing synchronization
+# the StealingMultiQueue has left (docs/CONCURRENCY.md).
+MUTATE_SCOPE = [
+    "src/concurrent/chase_lev_deque.hpp",
+    "src/concurrent/stealing_multiqueue.hpp",
+    "src/concurrent/spinlock.hpp",
+]
+
+ABBREV = {
+    "chase_lev_deque.hpp": "CLD",
+    "stealing_multiqueue.hpp": "SMQ",
+    "spinlock.hpp": "SL",
+    "multiqueue.hpp": "MQH",
+    "multiqueue.cpp": "MQ",
+    "chunk.hpp": "CHK",
+    "dary_heap.hpp": "DH",
+    "frontier_bag.hpp": "FB",
+    "wasp.cpp": "WASP",
+}
+
+WAIVER_FILE = REPO / "tools" / "lint" / "mutant_waivers.txt"
+DOCS_FILE = REPO / "docs" / "CONCURRENCY.md"
+
+ORDER_RE = re.compile(
+    r"std::memory_order_(seq_cst|acq_rel|release|acquire|consume|relaxed)\b")
+
+# Receivers whose .load/.store are not atomics (method-name collisions).
+NON_ATOMIC_RECEIVERS = [
+    re.compile(r"dist\s*$"),       # AtomicDistances::load(VertexId)
+    re.compile(r"\.dist\s*$"),
+]
+
+
+# --- site enumeration -----------------------------------------------------
+
+class Site:
+    def __init__(self, path, rel, line, col, order, mutant_id, replacement,
+                 context):
+        self.path = path          # absolute Path
+        self.rel = rel            # repo-relative string
+        self.line = line          # 1-based
+        self.col = col            # 0-based offset of the match in the line
+        self.order = order        # e.g. "release"
+        self.mutant_id = mutant_id
+        self.replacement = replacement  # weakened order, or None (relaxed)
+        self.context = context    # stripped source line
+
+    def describe(self):
+        repl = self.replacement or "-"
+        return (f"{self.mutant_id:8s} {self.rel}:{self.line:<4d} "
+                f"{self.order:>8s} -> {repl:<8s} | {self.context}")
+
+
+def weakened(order, line_text):
+    """The one-step weakening for an ordering, or None if already weakest.
+
+    seq_cst is weakened context-sensitively: a pure load can only lose its
+    SC participation down to acquire, a pure store down to release, and
+    RMWs/fences down to acq_rel — each the strongest strictly-weaker order,
+    so a kill proves the SC property itself is needed.
+    """
+    if order == "relaxed":
+        return None
+    if order in ("release", "acquire", "consume", "acq_rel"):
+        return "relaxed"
+    # seq_cst:
+    if ".load(" in line_text:
+        return "acquire"
+    if ".store(" in line_text:
+        return "release"
+    return "acq_rel"  # fences, CAS, other RMWs
+
+
+def enumerate_sites(files):
+    sites = []
+    for rel in files:
+        path = REPO / rel
+        if not path.exists():
+            raise SystemExit(f"atomics_audit: missing scope file {rel}")
+        counter = 0
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            stripped = line.split("//")[0]
+            for m in ORDER_RE.finditer(stripped):
+                counter += 1
+                order = m.group(1)
+                abbrev = ABBREV.get(path.name, path.stem.upper())
+                sites.append(Site(
+                    path, rel, lineno, m.start(), order,
+                    f"{abbrev}-{counter}", weakened(order, stripped),
+                    line.strip()))
+    return sites
+
+
+def mutable_sites(files):
+    return [s for s in enumerate_sites(files) if s.replacement is not None]
+
+
+# --- lint (check mode) ----------------------------------------------------
+
+ATOMIC_CALL_RE = re.compile(
+    r"[\w\)\]]\s*(?:\.|->)\s*"
+    r"(load|store|exchange|fetch_add|fetch_sub|fetch_or|fetch_and|"
+    r"compare_exchange_strong|compare_exchange_weak)\s*\(")
+
+
+def balanced_args(text, open_paren):
+    """Returns the argument text of the call whose '(' is at open_paren."""
+    depth = 0
+    for i in range(open_paren, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return text[open_paren + 1:i]
+    return text[open_paren + 1:]
+
+
+def strip_comments(text):
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.S)
+    return re.sub(r"//[^\n]*", "", text)
+
+
+def lint_file(rel):
+    """Returns a list of (line, message) findings for one file."""
+    path = REPO / rel
+    raw = path.read_text()
+    text = strip_comments(raw)
+    findings = []
+
+    def lineno(pos):
+        return text.count("\n", 0, pos) + 1
+
+    for m in re.finditer(r"\bvolatile\b", text):
+        findings.append((lineno(m.start()),
+                         "bare `volatile` is not a synchronization tool; use "
+                         "verify::atomic"))
+
+    # Raw atomics bypass the WASP_VERIFY model. (checked_atomic.hpp itself
+    # is outside the lint scope.)
+    for m in re.finditer(r"\bstd::atomic\s*<", text):
+        findings.append((lineno(m.start()),
+                         "raw std::atomic in the concurrent layer; use "
+                         "verify::atomic so the model sees it"))
+    for m in re.finditer(r"\bstd::atomic_thread_fence\b", text):
+        findings.append((lineno(m.start()),
+                         "raw std::atomic_thread_fence; use "
+                         "verify::thread_fence"))
+
+    # Implicit seq_cst: every atomic operation must name its order, so each
+    # site is a deliberate, mutation-tested decision.
+    for m in ATOMIC_CALL_RE.finditer(text):
+        receiver = text[max(0, m.start() - 40):m.start() + 1]
+        if any(rx.search(receiver) for rx in NON_ATOMIC_RECEIVERS):
+            continue
+        args = balanced_args(text, m.end() - 1)
+        if "memory_order" not in args:
+            findings.append((lineno(m.start()),
+                             f"atomic {m.group(1)}() without an explicit "
+                             "memory_order (implicit seq_cst)"))
+    return findings
+
+
+def cmd_check(args):
+    total = 0
+    for rel in args.files or LINT_SCOPE:
+        for line, msg in lint_file(rel):
+            print(f"{rel}:{line}: {msg}")
+            total += 1
+    if total:
+        print(f"atomics_audit: {total} finding(s)")
+        return 1
+    print(f"atomics_audit: clean ({len(args.files or LINT_SCOPE)} files)")
+    return 0
+
+
+# --- mutation -------------------------------------------------------------
+
+def apply_mutant(site):
+    """Rewrites the site's order in its file; returns the original text."""
+    original = site.path.read_text()
+    lines = original.splitlines(keepends=True)
+    line = lines[site.line - 1]
+    old = f"std::memory_order_{site.order}"
+    new = f"std::memory_order_{site.replacement}"
+    # Replace exactly the occurrence at the recorded column (comments were
+    # stripped during enumeration, so recompute against the raw line).
+    matches = [m for m in re.finditer(re.escape(old), line)]
+    if not matches:
+        raise SystemExit(
+            f"atomics_audit: {site.mutant_id}: site drifted "
+            f"({site.rel}:{site.line} no longer contains {old}); re-run list")
+    lines[site.line - 1] = line.replace(old, new, 1)
+    site.path.write_text("".join(lines))
+    return original
+
+
+def read_waivers():
+    """Returns {mutant_id: reason}."""
+    waivers = {}
+    if not WAIVER_FILE.exists():
+        return waivers
+    for raw in WAIVER_FILE.read_text().splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split(None, 1)
+        waivers[parts[0]] = parts[1] if len(parts) > 1 else ""
+    return waivers
+
+
+def cmd_list(args):
+    sites = enumerate_sites(args.files or MUTATE_SCOPE)
+    waivers = read_waivers()
+    for s in sites:
+        tag = ""
+        if s.replacement is None:
+            tag = "  [relaxed: no mutant]"
+        elif s.mutant_id in waivers:
+            tag = f"  [waived: {waivers[s.mutant_id]}]"
+        print(s.describe() + tag)
+    n_mut = sum(1 for s in sites if s.replacement is not None)
+    print(f"{len(sites)} site(s), {n_mut} mutable")
+    return 0
+
+
+def cmd_mutate(args):
+    sites = mutable_sites(args.files or MUTATE_SCOPE)
+    for s in sites:
+        if s.mutant_id == args.id:
+            apply_mutant(s)
+            print(f"applied {s.mutant_id}: {s.rel}:{s.line} "
+                  f"{s.order} -> {s.replacement} (restore with git checkout)")
+            return 0
+    raise SystemExit(f"atomics_audit: unknown mutant id {args.id}")
+
+
+def run_suite(build_dir, timeout, jobs, gtest_filter):
+    """Builds and runs test_verify; returns (verdict, detail)."""
+    build = subprocess.run(
+        ["cmake", "--build", str(build_dir), "--target", "test_verify",
+         "-j", str(jobs)],
+        capture_output=True, text=True)
+    if build.returncode != 0:
+        return "build-error", build.stderr[-2000:]
+    cmd = [str(Path(build_dir) / "tests" / "test_verify"),
+           "--gtest_brief=1"]
+    if gtest_filter:
+        cmd.append(f"--gtest_filter={gtest_filter}")
+    try:
+        run = subprocess.run(cmd, capture_output=True, text=True,
+                             timeout=timeout)
+    except subprocess.TimeoutExpired:
+        return "killed", "timeout (hang/livelock counts as detection)"
+    if run.returncode != 0:
+        # Keep the first failure line as the kill evidence.
+        evidence = ""
+        for line in (run.stdout + run.stderr).splitlines():
+            if "FAILED" in line or "Failure" in line or "seed" in line:
+                evidence = line.strip()
+                break
+        return "killed", evidence
+    return "survived", ""
+
+
+def cmd_test(args):
+    build_dir = Path(args.build_dir).resolve()
+    cache = build_dir / "CMakeCache.txt"
+    if not cache.exists() or "WASP_VERIFY:BOOL=ON" not in cache.read_text():
+        raise SystemExit(
+            f"atomics_audit: {build_dir} is not a WASP_VERIFY=ON build tree; "
+            "configure with -DWASP_VERIFY=ON (mutants are killed by the "
+            "happens-before model, which a default build compiles out)")
+
+    sites = mutable_sites(args.files or MUTATE_SCOPE)
+    if args.only:
+        wanted = set(args.only.split(","))
+        sites = [s for s in sites if s.mutant_id in wanted]
+    waivers = read_waivers()
+    docs = DOCS_FILE.read_text() if DOCS_FILE.exists() else ""
+
+    print(f"atomics_audit: baseline run ({len(sites)} mutants queued)")
+    verdict, detail = run_suite(build_dir, args.timeout, args.jobs,
+                                args.filter)
+    if verdict != "survived":
+        raise SystemExit(
+            f"atomics_audit: baseline suite is not green ({verdict}: "
+            f"{detail}); fix the tree before mutation testing")
+
+    results = []
+    for site in sites:
+        t0 = time.monotonic()
+        original = apply_mutant(site)
+        try:
+            verdict, detail = run_suite(build_dir, args.timeout, args.jobs,
+                                        args.filter)
+        finally:
+            site.path.write_text(original)
+        elapsed = time.monotonic() - t0
+        results.append({
+            "id": site.mutant_id,
+            "file": site.rel,
+            "line": site.line,
+            "mutation": f"{site.order} -> {site.replacement}",
+            "context": site.context,
+            "verdict": verdict,
+            "detail": detail,
+            "waived": site.mutant_id in waivers,
+            "seconds": round(elapsed, 1),
+        })
+        status = verdict.upper()
+        if verdict == "survived" and site.mutant_id in waivers:
+            status = "SURVIVED (waived)"
+        print(f"  {site.mutant_id:8s} {site.rel}:{site.line:<4d} "
+              f"{site.order:>8s}->{site.replacement:<8s} {status:20s} "
+              f"[{elapsed:5.1f}s] {detail[:80]}")
+
+    # Restore-sanity rebuild so the tree is never left mutated.
+    verdict, detail = run_suite(build_dir, args.timeout, args.jobs,
+                                args.filter)
+    if verdict != "survived":
+        raise SystemExit(
+            f"atomics_audit: tree not green after restore ({detail})")
+
+    report_path = build_dir / "verify_mutants.json"
+    report_path.write_text(json.dumps(results, indent=2) + "\n")
+
+    errors = []
+    killed = [r for r in results if r["verdict"] == "killed"]
+    survived = [r for r in results if r["verdict"] == "survived"]
+    build_errors = [r for r in results if r["verdict"] == "build-error"]
+    for r in build_errors:
+        errors.append(f"{r['id']}: mutant failed to build — weakening map "
+                      "produced invalid code")
+    for r in survived:
+        if not r["waived"]:
+            errors.append(
+                f"{r['id']} survived un-waived ({r['file']}:{r['line']} "
+                f"{r['mutation']}): either the ordering is over-strong "
+                "(downgrade it with a comment) or the harness is missing a "
+                "schedule (strengthen tests/test_verify.cpp); to defer, add "
+                "it to tools/lint/mutant_waivers.txt AND document it in "
+                "docs/CONCURRENCY.md")
+    for mid, reason in waivers.items():
+        if mid not in docs:
+            errors.append(
+                f"waiver {mid} is not documented in docs/CONCURRENCY.md "
+                "(every survivor needs its invariant analysis on record)")
+    for r in killed:
+        if r["waived"]:
+            print(f"  note: waiver {r['id']} is stale — the suite now kills "
+                  "it; remove the waiver and the docs entry")
+
+    scored = [r for r in results if not r["waived"]]
+    rate = (len([r for r in scored if r["verdict"] == "killed"]) /
+            len(scored)) if scored else 1.0
+    print(f"\natomics_audit: {len(killed)}/{len(results)} killed "
+          f"({len(survived)} survived, {len(build_errors)} build errors); "
+          f"kill rate over non-waived mutants: {rate:.0%} "
+          f"(floor {args.kill_rate:.0%}); report: {report_path}")
+    if rate < args.kill_rate:
+        errors.append(f"kill rate {rate:.0%} below floor "
+                      f"{args.kill_rate:.0%}")
+    if errors:
+        print("\natomics_audit: FAIL")
+        for e in errors:
+            print(f"  - {e}")
+        return 1
+    print("atomics_audit: PASS")
+    return 0
+
+
+# --- main -----------------------------------------------------------------
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p_list = sub.add_parser("list", help="enumerate ordering sites")
+    p_list.add_argument("--files", nargs="*", default=None)
+    p_list.set_defaults(fn=cmd_list)
+
+    p_check = sub.add_parser("check", help="lint the memory-order discipline")
+    p_check.add_argument("--files", nargs="*", default=None)
+    p_check.set_defaults(fn=cmd_check)
+
+    p_mut = sub.add_parser("mutate", help="apply one mutant in place")
+    p_mut.add_argument("--id", required=True)
+    p_mut.add_argument("--files", nargs="*", default=None)
+    p_mut.set_defaults(fn=cmd_mutate)
+
+    p_test = sub.add_parser("test", help="run the mutation campaign")
+    p_test.add_argument("--source-dir", default=str(REPO))
+    p_test.add_argument("--build-dir", required=True)
+    p_test.add_argument("--files", nargs="*", default=None)
+    p_test.add_argument("--only", default=None,
+                        help="comma-separated mutant IDs (CI subset)")
+    p_test.add_argument("--filter", default=None,
+                        help="gtest filter for the kill suite")
+    p_test.add_argument("--timeout", type=int, default=180)
+    p_test.add_argument("--jobs", type=int, default=0)
+    p_test.add_argument("--kill-rate", type=float, default=0.9)
+    p_test.set_defaults(fn=cmd_test)
+
+    args = parser.parse_args()
+    if getattr(args, "jobs", None) == 0:
+        import os
+        args.jobs = os.cpu_count() or 4
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
