@@ -4,11 +4,25 @@
 // scripts parse.
 #pragma once
 
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
 
 namespace wasp::bench {
+
+/// Result files land under results/ (gitignored) unless the caller gives an
+/// explicit directory, so repeated bench runs never litter the repo root.
+inline std::string resolve_csv_path(const std::string& path) {
+  if (path.empty()) return path;
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::filesystem::create_directories(p.parent_path());
+    return path;
+  }
+  std::filesystem::create_directories("results");
+  return (std::filesystem::path("results") / p).string();
+}
 
 /// Appends rows to a CSV file; writes the header only when the file is new.
 /// A default-constructed / empty-path writer swallows all rows.
@@ -16,8 +30,9 @@ class CsvWriter {
  public:
   CsvWriter() = default;
 
-  CsvWriter(const std::string& path, const std::string& header) {
-    if (path.empty()) return;
+  CsvWriter(const std::string& raw_path, const std::string& header) {
+    if (raw_path.empty()) return;
+    const std::string path = resolve_csv_path(raw_path);
     const bool fresh = !std::ifstream(path).good();
     out_.open(path, std::ios::app);
     if (fresh && out_) out_ << header << '\n';

@@ -7,6 +7,7 @@
 // result is > 20% barrier time on at least 6 of the 13 graphs.
 #include <cstdio>
 
+#include "csv.hpp"
 #include "harness.hpp"
 
 using namespace wasp;
@@ -20,6 +21,8 @@ int main(int argc, char** argv) {
   const int threads = static_cast<int>(args.get_int("threads"));
   const int trials = static_cast<int>(args.get_int("trials"));
   ThreadTeam team(threads);
+  bench::CsvWriter csv(args.get_string("csv"),
+                       "experiment,graph,delta,seconds,rounds,barrier_pct");
 
   std::printf("Figure 1: GAP delta-stepping execution breakdown "
               "(threads=%d, scale=%.2f)\n\n", threads, args.get_double("scale"));
@@ -39,15 +42,22 @@ int main(int argc, char** argv) {
     const bench::Measurement m =
         bench::measure(w.graph, w.source, options, trials, team);
 
+    // Breakdown columns come from the best trial's metrics snapshot, the
+    // same source the JSON/CSV exporters read.
+    const std::uint64_t rounds = m.metrics.counter(obs::CounterId::kRounds);
+    const std::uint64_t barrier_ns =
+        m.metrics.counter(obs::CounterId::kBarrierNs);
     const double total_cpu_ns = m.stats.seconds * 1e9 * threads;
     const double barrier_pct =
-        total_cpu_ns > 0 ? 100.0 * static_cast<double>(m.stats.barrier_ns) /
+        total_cpu_ns > 0 ? 100.0 * static_cast<double>(barrier_ns) /
                                total_cpu_ns
                          : 0.0;
     std::printf("%-6s %-10u %-10s %-9llu %-10.1f %-8.1f\n", suite::abbr(cls),
                 options.delta, bench::format_time_ms(m.best_seconds).c_str(),
-                static_cast<unsigned long long>(m.stats.rounds), barrier_pct,
+                static_cast<unsigned long long>(rounds), barrier_pct,
                 100.0 - barrier_pct);
+    csv.row("fig01", suite::abbr(cls), options.delta, m.best_seconds, rounds,
+            barrier_pct);
   }
   std::printf("\nExpectation (paper): road + low-degree classes show the "
               "highest barrier share;\nseveral classes exceed 20%%.\n");

@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
         double best_time = 1e100;
         std::uint64_t best_rho = 1 << 10;
         for (std::uint64_t rho = 1 << 8; rho <= 1 << 18; rho <<= 2) {
-          options.rho = rho;
+          options.stepping.rho = rho;
           const double t =
               bench::measure(w.graph, w.source, options, 1, team).best_seconds;
           if (t < best_time) {

@@ -65,11 +65,15 @@ int main(int argc, char** argv) {
         options.wasp.bidirectional_relaxation = false;
         const bench::Measurement m =
             bench::measure(w.graph, w.source, options, trials, team);
+        // Relaxation counts come from the best trial's metrics snapshot
+        // (same totals the legacy stats view reports).
+        const std::uint64_t relaxations =
+            m.metrics.counter(obs::CounterId::kRelaxations);
         csv.row("fig08", suite::abbr(cls), algorithm_name(algo), delta,
-                m.best_seconds, m.stats.relaxations);
+                m.best_seconds, relaxations);
         char cell[64];
         std::snprintf(cell, sizeof(cell), "%5.2f %10s",
-                      static_cast<double>(m.stats.relaxations) / base_relax,
+                      static_cast<double>(relaxations) / base_relax,
                       bench::format_time_ms(m.best_seconds).c_str());
         bench::print_cell(cell, 22);
         std::fflush(stdout);

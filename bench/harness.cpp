@@ -1,6 +1,7 @@
 #include "harness.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <functional>
@@ -17,6 +18,38 @@
 namespace wasp::bench {
 
 namespace {
+
+/// Liveness monitor the watchdog consults before declaring a trial hung: a
+/// trial that keeps emitting rounds or progress callbacks is slow, not
+/// wedged, and earns one budget extension. Steal callbacks are deliberately
+/// not counted — a livelocked steal storm still fires those.
+class ProgressMonitor final : public obs::RunObserver {
+ public:
+  explicit ProgressMonitor(obs::RunObserver* inner) : inner_(inner) {}
+
+  void on_round(std::uint64_t round, std::size_t frontier_size) override {
+    ticks_.fetch_add(1, std::memory_order_relaxed);
+    if (inner_ != nullptr) inner_->on_round(round, frontier_size);
+  }
+  void on_steal(int thief, int victim, bool success) override {
+    if (inner_ != nullptr) inner_->on_steal(thief, victim, success);
+  }
+  void on_termination(int tid) override {
+    if (inner_ != nullptr) inner_->on_termination(tid);
+  }
+  void on_progress(int tid, std::uint64_t vertices_processed) override {
+    ticks_.fetch_add(1, std::memory_order_relaxed);
+    if (inner_ != nullptr) inner_->on_progress(tid, vertices_processed);
+  }
+
+  [[nodiscard]] std::uint64_t ticks() const {
+    return ticks_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  obs::RunObserver* inner_;
+  std::atomic<std::uint64_t> ticks_{0};
+};
 
 /// Teams whose runner thread was abandoned mid-run by the watchdog. Such a
 /// team still has workers executing the abandoned trial, so handing it a new
@@ -36,14 +69,17 @@ void poison_team(const ThreadTeam& team) {
 
 /// Runs one trial on a helper thread so the harness can give up on it.
 /// Returns true when the trial finished within `timeout_seconds` (result in
-/// `out`; exceptions from run_sssp rethrow here). On expiry the watchdog
-/// disables fault injection process-wide -- the only supported livelock
-/// source -- and grants one more timeout for the run to unwind; a run that
-/// still does not return is abandoned (thread detached, team poisoned) and
-/// the function returns false.
+/// `out`; exceptions from run_sssp rethrow here). A trial whose monitor
+/// recorded observer ticks during the budget is making forward progress and
+/// earns exactly one budget extension. On expiry the watchdog disables fault
+/// injection process-wide -- the only supported livelock source -- and
+/// grants one more timeout for the run to unwind; a run that still does not
+/// return is abandoned (thread detached, team poisoned) and the function
+/// returns false.
 bool run_with_watchdog(const Graph& g, VertexId source,
                        const SsspOptions& options, ThreadTeam& team,
-                       double timeout_seconds, SsspResult& out) {
+                       double timeout_seconds, const ProgressMonitor* monitor,
+                       SsspResult& out) {
   if (timeout_seconds <= 0) {
     out = run_sssp(g, source, options, team);
     return true;
@@ -53,10 +89,19 @@ bool run_with_watchdog(const Graph& g, VertexId source,
   std::future<SsspResult> future = task.get_future();
   std::thread runner(std::move(task));
   const auto budget = std::chrono::duration<double>(timeout_seconds);
+  std::uint64_t ticks_before = monitor != nullptr ? monitor->ticks() : 0;
   if (future.wait_for(budget) == std::future_status::ready) {
     runner.join();
     out = future.get();
     return true;
+  }
+  if (monitor != nullptr && monitor->ticks() != ticks_before) {
+    // Rounds/progress advanced during the budget: slow, not hung.
+    if (future.wait_for(budget) == std::future_status::ready) {
+      runner.join();
+      out = future.get();
+      return true;
+    }
   }
   // Timed out. Pull the injection kill switch: chaos-induced livelocks (e.g.
   // steal-storm policies at unlucky rates) clear within microseconds once
@@ -89,9 +134,12 @@ Measurement measure(const Graph& g, VertexId source, const SsspOptions& options,
   std::vector<double> times;
   m.best_seconds = 1e100;
   SsspOptions opts = options;
+  ProgressMonitor monitor(options.observer);
+  opts.observer = &monitor;
   for (int t = 0; t < std::max(trials, 1); ++t) {
     SsspResult r;
-    if (!run_with_watchdog(g, source, opts, team, watchdog_seconds, r)) {
+    if (!run_with_watchdog(g, source, opts, team, watchdog_seconds, &monitor,
+                           r)) {
       ++m.watchdog_trips;
       if (team_poisoned(team)) {
         m.failure = "watchdog-timeout";
@@ -115,6 +163,7 @@ Measurement measure(const Graph& g, VertexId source, const SsspOptions& options,
     if (r.stats.seconds < m.best_seconds) {
       m.best_seconds = r.stats.seconds;
       m.stats = r.stats;
+      m.metrics = std::move(r.metrics);
     }
   }
   if (times.empty()) {
@@ -215,6 +264,8 @@ void add_common_args(ArgParser& args) {
   args.add_int("seed", 1, "workload seed");
   args.add_double("watchdog-sec", kDefaultWatchdogSeconds,
                   "per-trial watchdog timeout in seconds (<=0 disables)");
+  args.add_string("trace", "",
+                  "write a Chrome trace_event JSON of the last run here");
 }
 
 std::vector<suite::GraphClass> selected_classes(const ArgParser& args) {

@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
       o.threads = threads;
       o.algo = Algorithm::kObim;
       o.delta = bench::default_delta(o.algo, cls);
-      o.obim_chunk_size = size;
+      o.obim.chunk_size = size;
       const double tg =
           bench::measure(w.graph, w.source, o, trials, team).best_seconds;
       if (tg < galois_min) { galois_min = tg; galois_best = size; }

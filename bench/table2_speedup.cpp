@@ -5,6 +5,7 @@
 // GAP 1.72x, GBBS 3.42x, MQ 2.74x, rho 2.15x — overall 2.2x. We check the
 // shape: every gmean > 1, GBBS and MQ the largest.
 #include <cstdio>
+#include <fstream>
 #include <vector>
 
 #include "csv.hpp"
@@ -25,6 +26,11 @@ int main(int argc, char** argv) {
   const auto algos = bench::figure5_algorithms();  // wasp last
   bench::CsvWriter csv(args.get_string("csv"),
                        "experiment,graph,impl,delta,threads,seconds,status");
+  // With --trace, every run records into per-thread event rings (most recent
+  // events win) and the Chrome trace JSON is written at exit. Under
+  // WASP_OBS=OFF this is the no-op stub and the file is an empty trace.
+  const std::string trace_path = args.get_string("trace");
+  obs::TraceRecorder trace(threads);
 
   std::vector<std::vector<double>> times(algos.size(),
                                          std::vector<double>(classes.size()));
@@ -35,6 +41,7 @@ int main(int argc, char** argv) {
       SsspOptions options;
       options.algo = algos[a];
       options.threads = threads;
+      if (!trace_path.empty()) options.trace = &trace;
       options.delta =
           args.get_flag("tune")
               ? bench::tune_delta(w.graph, w.source, options, {}, 1, team)
@@ -68,5 +75,13 @@ int main(int argc, char** argv) {
   std::printf("%-8s %-10s\n", "gmean", bench::format_speedup(geometric_mean(all)).c_str());
   std::printf("\nExpectation (paper): all speedups > 1; GBBS and MQ show the "
               "largest gaps; overall gmean ~2.2x.\n");
+
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    trace.write_chrome_trace(out);
+    std::printf("\ntrace written to %s (%llu events dropped)\n",
+                trace_path.c_str(),
+                static_cast<unsigned long long>(trace.dropped()));
+  }
   return 0;
 }

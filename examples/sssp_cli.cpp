@@ -29,8 +29,7 @@ int run(int argc, char** argv) {
   args.add_string("format", "auto", "load format: auto|binary|edgelist|mtx");
   args.add_flag("undirected", "treat a loaded edge list as undirected");
   args.add_string("save", "", "save the graph in binary format and exit");
-  args.add_string("algo", "wasp",
-                  "dijkstra|bf|gap|gbbs|dstar|rho|mq|galois|wasp");
+  args.add_string("algo", "wasp", wasp::algorithm_list());
   args.add_int("threads", 4, "worker threads");
   args.add_int("delta", 1, "bucket width");
   args.add_int("trials", 1, "repetitions (best time reported)");

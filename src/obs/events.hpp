@@ -1,0 +1,51 @@
+// Event taxonomy for the run-lifecycle trace recorder (docs/OBSERVABILITY.md).
+//
+// Kinds split into spans (paired begin/end, nest per thread) and instants
+// (point events). The names below are what appears in the exported Chrome
+// trace_event JSON and in collapsed flamegraph stacks, so they are part of
+// the tooling contract checked by tools/trace_check.py.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace wasp::obs {
+
+enum class EventKind : std::uint8_t {
+  // Spans.
+  kStealSweep,       ///< one Wasp victim sweep (Algorithm 2 outer loop)
+  kTerminationScan,  ///< one Wasp idle/termination scan
+  kRound,            ///< one synchronous round (bucket/step algorithms)
+  // Instants.
+  kStealAttempt,     ///< steal() issued on a victim deque (arg = victim tid)
+  kStealSuccess,     ///< steal() returned a chunk (arg = victim tid)
+  kBucketAdvance,    ///< Wasp worker advanced its current bucket (arg = prio)
+  kRoundTransition,  ///< synchronous algorithm moved to a new round/bucket
+  kChunkAlloc,       ///< chunk taken from the per-thread pool
+};
+
+inline constexpr std::size_t kNumEventKinds = 8;
+
+constexpr const char* event_name(EventKind k) {
+  switch (k) {
+    case EventKind::kStealSweep: return "steal_sweep";
+    case EventKind::kTerminationScan: return "termination_scan";
+    case EventKind::kRound: return "round";
+    case EventKind::kStealAttempt: return "steal_attempt";
+    case EventKind::kStealSuccess: return "steal_success";
+    case EventKind::kBucketAdvance: return "bucket_advance";
+    case EventKind::kRoundTransition: return "round_transition";
+    case EventKind::kChunkAlloc: return "chunk_alloc";
+  }
+  return "?";
+}
+
+/// Whether the kind opens/closes a span (vs. a point event).
+constexpr bool is_span(EventKind k) {
+  return k == EventKind::kStealSweep || k == EventKind::kTerminationScan ||
+         k == EventKind::kRound;
+}
+
+enum class EventPhase : std::uint8_t { kBegin, kEnd, kInstant };
+
+}  // namespace wasp::obs

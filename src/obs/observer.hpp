@@ -1,0 +1,42 @@
+// RunObserver: run-lifecycle hooks for callers that want live progress
+// rather than post-hoc snapshots — the bench watchdog uses it to tell a
+// slow-but-progressing run from a livelocked one, and the chaos tests use it
+// to assert lifecycle invariants under fault injection.
+//
+// Unlike the TraceRecorder this interface is NOT gated by WASP_OBS: it is
+// product behavior (the watchdog depends on it). The algorithms only pay a
+// pointer test per hook site when no observer is installed.
+//
+// Callbacks fire concurrently from any worker thread; implementations must
+// be thread-safe and should be cheap (they run inside the measured region).
+#pragma once
+
+#include <cstdint>
+
+namespace wasp::obs {
+
+class RunObserver {
+ public:
+  virtual ~RunObserver() = default;
+
+  /// A synchronous algorithm finished gathering round `round`;
+  /// `frontier_size` is the frontier it is about to process. Fired by
+  /// participant 0 once per round.
+  virtual void on_round(std::uint64_t /*round*/,
+                        std::uint64_t /*frontier_size*/) {}
+
+  /// A Wasp worker issued steal() on a victim's deque. Fired per attempt,
+  /// so the call count matches the steal_attempts counter.
+  virtual void on_steal(int /*thief*/, int /*victim*/, bool /*success*/) {}
+
+  /// Worker `tid` is leaving the run: its termination scan confirmed global
+  /// quiescence (async algorithms) or the work loop drained (queue-based
+  /// ones). Fired exactly once per worker.
+  virtual void on_termination(int /*tid*/) {}
+
+  /// Worker `tid` crossed a processed-vertices milestone (every few
+  /// thousand vertices; granularity is an implementation detail).
+  virtual void on_progress(int /*tid*/, std::uint64_t /*vertices_processed*/) {}
+};
+
+}  // namespace wasp::obs

@@ -1,0 +1,151 @@
+#include "obs/trace.hpp"
+
+#if defined(WASP_OBS_ENABLED) && WASP_OBS_ENABLED
+
+#include <map>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+namespace wasp::obs {
+
+TraceRecorder::TraceRecorder(int threads, std::size_t capacity_per_thread)
+    : capacity_(capacity_per_thread == 0 ? 1 : capacity_per_thread),
+      epoch_(std::chrono::steady_clock::now()) {
+  if (threads < 1)
+    throw std::invalid_argument("TraceRecorder: threads must be >= 1");
+  rings_.resize(static_cast<std::size_t>(threads));
+  for (auto& r : rings_) r.value.buf.resize(capacity_);
+}
+
+std::uint64_t TraceRecorder::now_ns() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void TraceRecorder::record(int tid, EventKind kind, EventPhase phase,
+                           std::uint64_t arg) {
+  Ring& r = rings_[static_cast<std::size_t>(tid)].value;
+  r.buf[r.head % capacity_] = TraceEvent{now_ns(), arg, kind, phase};
+  ++r.head;
+}
+
+std::vector<TraceEvent> TraceRecorder::events(int tid) const {
+  const Ring& r = rings_[static_cast<std::size_t>(tid)].value;
+  std::vector<TraceEvent> out;
+  const std::uint64_t n = r.head < capacity_ ? r.head : capacity_;
+  out.reserve(static_cast<std::size_t>(n));
+  const std::uint64_t first = r.head - n;
+  for (std::uint64_t i = 0; i < n; ++i)
+    out.push_back(r.buf[(first + i) % capacity_]);
+  return out;
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  std::uint64_t total = 0;
+  for (const auto& r : rings_)
+    if (r.value.head > capacity_) total += r.value.head - capacity_;
+  return total;
+}
+
+void TraceRecorder::clear() {
+  for (auto& r : rings_) r.value.head = 0;
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+namespace {
+
+void emit_event(std::ostream& os, bool& first, const char* name, char ph,
+                std::uint64_t ts_ns, int tid, std::uint64_t arg) {
+  if (!first) os << ",\n";
+  first = false;
+  // Chrome trace timestamps are microseconds; keep ns resolution as a
+  // fractional part.
+  const std::uint64_t us = ts_ns / 1000;
+  const std::uint64_t frac = ts_ns % 1000;
+  os << "  {\"name\":\"" << name << "\",\"ph\":\"" << ph << "\",\"ts\":" << us
+     << '.' << static_cast<char>('0' + frac / 100)
+     << static_cast<char>('0' + (frac / 10) % 10)
+     << static_cast<char>('0' + frac % 10) << ",\"pid\":0,\"tid\":" << tid
+     << ",\"args\":{\"arg\":" << arg << '}';
+  if (ph == 'i') os << ",\"s\":\"t\"";
+  os << '}';
+}
+
+}  // namespace
+
+void TraceRecorder::write_chrome_trace(std::ostream& os) const {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  for (int tid = 0; tid < threads(); ++tid) {
+    const std::vector<TraceEvent> evs = events(tid);
+    std::vector<EventKind> open;  // span stack for re-balancing
+    std::uint64_t last_ts = 0;
+    for (const TraceEvent& e : evs) {
+      last_ts = e.ts_ns;
+      switch (e.phase) {
+        case EventPhase::kBegin:
+          open.push_back(e.kind);
+          emit_event(os, first, event_name(e.kind), 'B', e.ts_ns, tid, e.arg);
+          break;
+        case EventPhase::kEnd:
+          // An end whose begin was overwritten by the ring is dropped.
+          if (open.empty()) break;
+          emit_event(os, first, event_name(open.back()), 'E', e.ts_ns, tid,
+                     e.arg);
+          open.pop_back();
+          break;
+        case EventPhase::kInstant:
+          emit_event(os, first, event_name(e.kind), 'i', e.ts_ns, tid, e.arg);
+          break;
+      }
+    }
+    // Close spans still open at the end of the ring so B/E stay balanced.
+    while (!open.empty()) {
+      emit_event(os, first, event_name(open.back()), 'E', last_ts, tid, 0);
+      open.pop_back();
+    }
+  }
+  os << "\n]}\n";
+}
+
+void TraceRecorder::write_collapsed(std::ostream& os) const {
+  // stack string -> inclusive nanoseconds.
+  std::map<std::string, std::uint64_t> agg;
+  for (int tid = 0; tid < threads(); ++tid) {
+    const std::vector<TraceEvent> evs = events(tid);
+    struct Open {
+      EventKind kind;
+      std::uint64_t ts_ns;
+    };
+    std::vector<Open> open;
+    std::uint64_t last_ts = 0;
+    const std::string root = "thread" + std::to_string(tid);
+    const auto close_top = [&](std::uint64_t end_ts) {
+      std::string stack = root;
+      for (const Open& o : open) {
+        stack += ';';
+        stack += event_name(o.kind);
+      }
+      const std::uint64_t begin_ts = open.back().ts_ns;
+      agg[stack] += end_ts >= begin_ts ? end_ts - begin_ts : 0;
+      open.pop_back();
+    };
+    for (const TraceEvent& e : evs) {
+      last_ts = e.ts_ns;
+      if (e.phase == EventPhase::kBegin) {
+        open.push_back(Open{e.kind, e.ts_ns});
+      } else if (e.phase == EventPhase::kEnd && !open.empty()) {
+        close_top(e.ts_ns);
+      }
+    }
+    while (!open.empty()) close_top(last_ts);
+  }
+  for (const auto& [stack, ns] : agg) os << stack << ' ' << ns << '\n';
+}
+
+}  // namespace wasp::obs
+
+#endif  // WASP_OBS_ENABLED

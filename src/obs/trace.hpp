@@ -1,0 +1,149 @@
+// TraceRecorder: per-thread fixed-capacity event rings for run-lifecycle
+// tracing (steal sweeps, termination scans, bucket/round transitions, chunk
+// allocation). Exports Chrome trace_event JSON (load in Perfetto /
+// chrome://tracing) and a collapsed-stack format for flamegraph tooling.
+//
+// Compile-time gating: with WASP_OBS=OFF (no WASP_OBS_ENABLED definition)
+// this header provides an API-identical inline no-op stub and trace.cpp is
+// not compiled, so OFF builds contain no recorder symbols and the
+// trace_begin/trace_end/trace_instant helpers below compile to nothing —
+// the zero-cost claim the release-noobs CI job guards with nm.
+//
+// Threading: record() is wait-free and touches only the calling thread's
+// ring (rings are CachePadded). Export/clear are not synchronized against
+// concurrent recording; call them outside the parallel phase.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "obs/events.hpp"
+#include "support/padded.hpp"
+
+namespace wasp::obs {
+
+struct TraceEvent {
+  std::uint64_t ts_ns = 0;  ///< nanoseconds since the recorder's epoch
+  std::uint64_t arg = 0;    ///< kind-specific payload (victim tid, prio, ...)
+  EventKind kind{};
+  EventPhase phase{};
+};
+
+#if defined(WASP_OBS_ENABLED) && WASP_OBS_ENABLED
+
+class TraceRecorder {
+ public:
+  /// `capacity_per_thread` events are retained per ring; older events are
+  /// overwritten (dropped() reports how many).
+  explicit TraceRecorder(int threads,
+                         std::size_t capacity_per_thread = std::size_t{1} << 14);
+
+  static constexpr bool kEnabled = true;
+
+  [[nodiscard]] int threads() const { return static_cast<int>(rings_.size()); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  void record(int tid, EventKind kind, EventPhase phase, std::uint64_t arg = 0);
+
+  void begin(int tid, EventKind kind, std::uint64_t arg = 0) {
+    record(tid, kind, EventPhase::kBegin, arg);
+  }
+  void end(int tid, EventKind kind, std::uint64_t arg = 0) {
+    record(tid, kind, EventPhase::kEnd, arg);
+  }
+  void instant(int tid, EventKind kind, std::uint64_t arg = 0) {
+    record(tid, kind, EventPhase::kInstant, arg);
+  }
+
+  /// Events retained for `tid`, oldest first.
+  [[nodiscard]] std::vector<TraceEvent> events(int tid) const;
+  /// Events overwritten across all rings since construction/clear().
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  void clear();
+
+  /// Chrome trace_event JSON ({"traceEvents": [...]}). Span begin/ends are
+  /// re-balanced per thread: orphan ends (their begin was overwritten) are
+  /// dropped and unclosed begins are closed at the thread's last timestamp,
+  /// so the output always loads cleanly.
+  void write_chrome_trace(std::ostream& os) const;
+
+  /// Collapsed stacks ("thread0;steal_sweep 12345" = inclusive ns), one
+  /// line per unique span stack, for flamegraph.pl-style tooling.
+  void write_collapsed(std::ostream& os) const;
+
+ private:
+  struct Ring {
+    std::vector<TraceEvent> buf;
+    std::uint64_t head = 0;  ///< total events recorded (not wrapped)
+  };
+
+  [[nodiscard]] std::uint64_t now_ns() const;
+
+  std::size_t capacity_;
+  std::vector<CachePadded<Ring>> rings_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+#else  // WASP_OBS disabled: API-identical zero-cost stub.
+
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(int = 1, std::size_t = 0) {}
+
+  static constexpr bool kEnabled = false;
+
+  [[nodiscard]] int threads() const { return 0; }
+  [[nodiscard]] std::size_t capacity() const { return 0; }
+
+  void record(int, EventKind, EventPhase, std::uint64_t = 0) {}
+  void begin(int, EventKind, std::uint64_t = 0) {}
+  void end(int, EventKind, std::uint64_t = 0) {}
+  void instant(int, EventKind, std::uint64_t = 0) {}
+
+  [[nodiscard]] std::vector<TraceEvent> events(int) const { return {}; }
+  [[nodiscard]] std::uint64_t dropped() const { return 0; }
+  void clear() {}
+
+  void write_chrome_trace(std::ostream& os) const {
+    os << "{\"traceEvents\":[]}\n";
+  }
+  void write_collapsed(std::ostream&) const {}
+};
+
+#endif  // WASP_OBS_ENABLED
+
+/// Null-safe call-site helpers. Instrumented code holds a TraceRecorder*
+/// (null = not tracing); these compile to nothing when WASP_OBS=OFF, so the
+/// hot paths carry no test-and-call in the zero-cost configuration.
+inline void trace_begin(TraceRecorder* t, int tid, EventKind kind,
+                        std::uint64_t arg = 0) {
+#if defined(WASP_OBS_ENABLED) && WASP_OBS_ENABLED
+  if (t != nullptr) t->begin(tid, kind, arg);
+#else
+  (void)t; (void)tid; (void)kind; (void)arg;
+#endif
+}
+
+inline void trace_end(TraceRecorder* t, int tid, EventKind kind,
+                      std::uint64_t arg = 0) {
+#if defined(WASP_OBS_ENABLED) && WASP_OBS_ENABLED
+  if (t != nullptr) t->end(tid, kind, arg);
+#else
+  (void)t; (void)tid; (void)kind; (void)arg;
+#endif
+}
+
+inline void trace_instant(TraceRecorder* t, int tid, EventKind kind,
+                          std::uint64_t arg = 0) {
+#if defined(WASP_OBS_ENABLED) && WASP_OBS_ENABLED
+  if (t != nullptr) t->instant(tid, kind, arg);
+#else
+  (void)t; (void)tid; (void)kind; (void)arg;
+#endif
+}
+
+}  // namespace wasp::obs

@@ -4,19 +4,20 @@
 
 #include "concurrent/frontier_bag.hpp"
 #include "support/spin_barrier.hpp"
+#include "support/thread_team.hpp"
 #include "support/timer.hpp"
 
 namespace wasp {
 
-SsspResult bellman_ford(const Graph& g, VertexId source, ThreadTeam& team) {
-  const int p = team.size();
+SsspResult bellman_ford(const Graph& g, VertexId source, RunContext& ctx) {
+  using CId = obs::CounterId;
+  const int p = ctx.team.size();
   AtomicDistances dist(g.num_vertices());
   dist.store(source, 0);
 
   std::vector<VertexId> frontier{source};
   FrontierBag next(p);
   SpinBarrier barrier(p);
-  std::vector<CachePadded<ThreadCounters>> counters(static_cast<std::size_t>(p));
   // Deduplicates frontier insertions within a round: a vertex improved many
   // times per round is still processed once next round.
   std::vector<std::atomic<std::uint8_t>> in_next(g.num_vertices());
@@ -25,8 +26,8 @@ SsspResult bellman_ford(const Graph& g, VertexId source, ThreadTeam& team) {
   std::uint64_t rounds = 0;
 
   Timer timer;
-  team.run([&](int tid) {
-    auto& my = counters[static_cast<std::size_t>(tid)].value;
+  ctx.team.run([&](int tid) {
+    obs::MetricsShard& my = ctx.metrics.shard(tid);
     for (;;) {
       // Dynamic claim over the current frontier.
       for (;;) {
@@ -39,9 +40,9 @@ SsspResult bellman_ford(const Graph& g, VertexId source, ThreadTeam& team) {
         in_next[u].exchange(0, std::memory_order_acq_rel);
         const Distance du = dist.load(u);
         for (const WEdge& e : g.out_neighbors(u)) {
-          ++my.relaxations;
+          my.inc(CId::kRelaxations);
           if (dist.relax_to(e.dst, saturating_add(du, e.w))) {
-            ++my.updates;
+            my.inc(CId::kUpdates);
             if (in_next[e.dst].exchange(1, std::memory_order_acq_rel) == 0)
               next.insert(tid, e.dst);
           }
@@ -49,10 +50,15 @@ SsspResult bellman_ford(const Graph& g, VertexId source, ThreadTeam& team) {
       }
       barrier.wait(tid);
       if (tid == 0) {
+        const std::size_t processed = frontier.size();
         const std::size_t total = next.compute_offsets();
         frontier.resize(total);
         cursor.store(0, std::memory_order_relaxed);
         ++rounds;
+        my.observe(obs::HistId::kRoundFrontier, processed);
+        obs::trace_instant(ctx.trace, tid, obs::EventKind::kRoundTransition,
+                           total);
+        if (ctx.observer != nullptr) ctx.observer->on_round(rounds, processed);
       }
       barrier.wait(tid);
       if (frontier.empty()) break;
@@ -61,11 +67,11 @@ SsspResult bellman_ford(const Graph& g, VertexId source, ThreadTeam& team) {
     }
   });
 
+  const double seconds = timer.seconds();
+  ctx.metrics.shard(0).inc(CId::kRounds, rounds);
+  ctx.metrics.shard(0).inc(CId::kBarrierNs, barrier.total_wait_ns());
   SsspResult result;
-  result.stats.seconds = timer.seconds();
-  result.stats.rounds = rounds;
-  result.stats.barrier_ns = barrier.total_wait_ns();
-  accumulate_counters(counters, result.stats);
+  finalize_result(ctx, seconds, result);
   result.dist = dist.snapshot();
   return result;
 }

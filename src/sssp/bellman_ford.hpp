@@ -11,7 +11,7 @@
 
 namespace wasp {
 
-/// Parallel frontier Bellman-Ford on `team` (or sequential when threads==1).
-SsspResult bellman_ford(const Graph& g, VertexId source, ThreadTeam& team);
+/// Parallel frontier Bellman-Ford on ctx.team (sequential when size()==1).
+SsspResult bellman_ford(const Graph& g, VertexId source, RunContext& ctx);
 
 }  // namespace wasp

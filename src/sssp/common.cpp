@@ -1,52 +1,113 @@
 #include "sssp/common.hpp"
 
-#include <stdexcept>
+#include <sstream>
+
+#include "support/errors.hpp"
+#include "support/thread_team.hpp"
 
 namespace wasp {
 
-const char* algorithm_name(Algorithm a) {
-  switch (a) {
-    case Algorithm::kDijkstra: return "dijkstra";
-    case Algorithm::kBellmanFord: return "bf";
-    case Algorithm::kDeltaStepping: return "gap";
-    case Algorithm::kJulienne: return "gbbs";
-    case Algorithm::kDeltaStar: return "dstar";
-    case Algorithm::kRhoStepping: return "rho";
-    case Algorithm::kRadiusStepping: return "radius";
-    case Algorithm::kMqDijkstra: return "mq";
-    case Algorithm::kSmqDijkstra: return "smq";
-    case Algorithm::kObim: return "galois";
-    case Algorithm::kWasp: return "wasp";
-  }
+namespace {
+
+/// The one Algorithm <-> name table. `alias` is the accepted long form
+/// (null = none); canonical names are what the CLI and bench labels print.
+struct AlgorithmEntry {
+  Algorithm algo;
+  const char* name;
+  const char* alias;
+};
+
+constexpr AlgorithmEntry kAlgorithms[] = {
+    {Algorithm::kDijkstra, "dijkstra", nullptr},
+    {Algorithm::kBellmanFord, "bf", "bellman-ford"},
+    {Algorithm::kDeltaStepping, "gap", "delta"},
+    {Algorithm::kJulienne, "gbbs", "julienne"},
+    {Algorithm::kDeltaStar, "dstar", "delta-star"},
+    {Algorithm::kRhoStepping, "rho", "rho-stepping"},
+    {Algorithm::kRadiusStepping, "radius", "radius-stepping"},
+    {Algorithm::kMqDijkstra, "mq", "multiqueue"},
+    {Algorithm::kSmqDijkstra, "smq", "stealing-multiqueue"},
+    {Algorithm::kObim, "galois", "obim"},
+    {Algorithm::kWasp, "wasp", nullptr},
+};
+
+}  // namespace
+
+const char* to_string(Algorithm a) {
+  for (const AlgorithmEntry& e : kAlgorithms)
+    if (e.algo == a) return e.name;
   return "?";
 }
 
-Algorithm parse_algorithm(const std::string& name) {
-  if (name == "dijkstra") return Algorithm::kDijkstra;
-  if (name == "bf" || name == "bellman-ford") return Algorithm::kBellmanFord;
-  if (name == "gap" || name == "delta") return Algorithm::kDeltaStepping;
-  if (name == "gbbs" || name == "julienne") return Algorithm::kJulienne;
-  if (name == "dstar" || name == "delta-star") return Algorithm::kDeltaStar;
-  if (name == "rho" || name == "rho-stepping") return Algorithm::kRhoStepping;
-  if (name == "radius" || name == "radius-stepping") return Algorithm::kRadiusStepping;
-  if (name == "mq" || name == "multiqueue") return Algorithm::kMqDijkstra;
-  if (name == "smq" || name == "stealing-multiqueue") return Algorithm::kSmqDijkstra;
-  if (name == "galois" || name == "obim") return Algorithm::kObim;
-  if (name == "wasp") return Algorithm::kWasp;
-  throw std::invalid_argument("unknown algorithm: " + name);
+Algorithm parse_algorithm(std::string_view name) {
+  for (const AlgorithmEntry& e : kAlgorithms) {
+    if (name == e.name) return e.algo;
+    if (e.alias != nullptr && name == e.alias) return e.algo;
+  }
+  throw std::invalid_argument("unknown algorithm: " + std::string(name) +
+                              " (expected one of " + algorithm_list() + ")");
 }
 
-void accumulate_counters(const std::vector<CachePadded<ThreadCounters>>& counters,
-                         SsspStats& stats) {
-  for (const auto& c : counters) {
-    stats.relaxations += c.value.relaxations;
-    stats.updates += c.value.updates;
-    stats.steals += c.value.steals;
-    stats.steal_attempts += c.value.steal_attempts;
-    stats.stale_skips += c.value.stale_skips;
-    stats.steal_ns += c.value.steal_ns;
-    stats.idle_ns += c.value.idle_ns;
+std::string algorithm_list() {
+  std::string out;
+  for (const AlgorithmEntry& e : kAlgorithms) {
+    if (!out.empty()) out += '|';
+    out += e.name;
   }
+  return out;
+}
+
+void SsspOptions::validate() const {
+  const auto fail = [](const std::string& what) {
+    throw InvalidOptionsError("SsspOptions: " + what);
+  };
+  if (threads < 1) fail("threads must be >= 1");
+  if (delta == 0) fail("delta must be >= 1 (zero-width buckets never drain)");
+  if (wasp.theta == 0) fail("wasp.theta must be >= 1");
+  if (wasp.steal_retries < 0) fail("wasp.steal_retries must be >= 0");
+  switch (wasp.chunk_capacity) {
+    case 16: case 32: case 64: case 128: case 256:
+      break;
+    default: {
+      std::ostringstream os;
+      os << "wasp.chunk_capacity must be one of 16, 32, 64, 128, 256 (got "
+         << wasp.chunk_capacity << ")";
+      fail(os.str());
+    }
+  }
+  if (stepping.rho == 0) fail("stepping.rho must be >= 1");
+  if (stepping.radius_k == 0) fail("stepping.radius_k must be >= 1");
+  if (mq.c < 1) fail("mq.c must be >= 1");
+  if (mq.stickiness < 1) fail("mq.stickiness must be >= 1");
+  if (mq.buffer < 1) fail("mq.buffer must be >= 1");
+  if (smq.steal_batch < 0) fail("smq.steal_batch must be >= 0");
+  if (obim.chunk_size == 0) fail("obim.chunk_size must be >= 1");
+}
+
+SsspStats stats_from_snapshot(const obs::MetricsSnapshot& snap) {
+  using obs::CounterId;
+  SsspStats stats;
+  stats.seconds = snap.seconds;
+  stats.relaxations = snap.counter(CounterId::kRelaxations);
+  stats.updates = snap.counter(CounterId::kUpdates);
+  stats.steals = snap.counter(CounterId::kSteals);
+  stats.steal_attempts = snap.counter(CounterId::kStealAttempts);
+  stats.stale_skips = snap.counter(CounterId::kStaleSkips);
+  stats.rounds = snap.counter(CounterId::kRounds);
+  stats.barrier_ns = snap.counter(CounterId::kBarrierNs);
+  stats.queue_op_ns = snap.counter(CounterId::kQueueOpNs);
+  stats.steal_ns = snap.counter(CounterId::kStealNs);
+  stats.idle_ns = snap.counter(CounterId::kIdleNs);
+  return stats;
+}
+
+void finalize_result(RunContext& ctx, double seconds, SsspResult& result) {
+  obs::MetricsShard& s0 = ctx.metrics.shard(0);
+  s0.set_gauge(obs::GaugeId::kTeamJobs, ctx.team.jobs_run());
+  s0.set_gauge(obs::GaugeId::kTeamJobNs, ctx.team.job_ns());
+  ctx.metrics.set_elapsed_seconds(seconds);
+  result.metrics = ctx.metrics.snapshot();
+  result.stats = stats_from_snapshot(result.metrics);
 }
 
 }  // namespace wasp

@@ -1,22 +1,28 @@
 // Shared machinery for every SSSP implementation: the atomic tentative-
 // distance array, the CAS edge-relaxation primitive (paper Algorithm 1,
-// relax()), per-thread instrumentation counters, and the option/result types
-// of the unified front-end in sssp.hpp.
+// relax()), the run-lifecycle context every parallel algorithm executes
+// under (RunContext: team + metrics + optional trace/observer/chaos), and
+// the option/result types of the unified front-end in sssp.hpp.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "obs/metrics.hpp"
+#include "obs/observer.hpp"
+#include "obs/trace.hpp"
 #include "support/chaos.hpp"
 #include "support/numa.hpp"
-#include "support/padded.hpp"
 #include "support/types.hpp"
 
 namespace wasp {
+
+class ThreadTeam;
 
 /// Tentative-distance array with atomic CAS updates.
 class AtomicDistances {
@@ -73,18 +79,6 @@ class AtomicDistances {
   std::unique_ptr<std::atomic<Distance>[]> dist_;
 };
 
-/// Per-thread instrumentation, cache-padded; summed into SsspStats.
-struct ThreadCounters {
-  std::uint64_t relaxations = 0;    ///< edge relaxations attempted
-  std::uint64_t updates = 0;        ///< successful distance improvements
-  std::uint64_t steals = 0;         ///< chunks successfully stolen
-  std::uint64_t steal_attempts = 0; ///< steal() calls on victims' deques
-  std::uint64_t vertices_processed = 0;
-  std::uint64_t stale_skips = 0;    ///< scheduled entries skipped as stale
-  std::uint64_t steal_ns = 0;       ///< time inside victim sweeps
-  std::uint64_t idle_ns = 0;        ///< time idling in termination scans
-};
-
 /// Which algorithm the front-end dispatches to.
 enum class Algorithm {
   kDijkstra,       ///< sequential reference (binary/d-ary heap)
@@ -100,10 +94,18 @@ enum class Algorithm {
   kWasp,           ///< the paper's contribution
 };
 
-/// Parse/print helpers ("wasp", "gap", "gbbs", "dstar", "rho", "mq",
-/// "galois", "dijkstra", "bf").
-const char* algorithm_name(Algorithm a);
-Algorithm parse_algorithm(const std::string& name);
+/// The Algorithm <-> name mapping lives in one table (common.cpp): the CLI,
+/// the bench labels, and the error messages all read from it.
+/// Canonical name of `a` ("wasp", "gap", "gbbs", ...).
+const char* to_string(Algorithm a);
+/// Back-compat alias for to_string().
+inline const char* algorithm_name(Algorithm a) { return to_string(a); }
+/// Parses a canonical name or its documented alias ("bf"/"bellman-ford",
+/// "gap"/"delta", ...); throws std::invalid_argument listing the accepted
+/// names otherwise.
+Algorithm parse_algorithm(std::string_view name);
+/// "dijkstra|bf|gap|..." — every canonical name, for CLI help text.
+std::string algorithm_list();
 
 /// Victim-selection policy of Wasp's work-stealing (the §4.2 ablation).
 enum class StealPolicy {
@@ -125,47 +127,83 @@ struct WaspConfig {
   /// insensitivity to the choice (§5.1).
   std::uint32_t chunk_capacity = 64;
   /// Synthetic NUMA topology override for tests/benches; empty = detect().
+  /// Solver fills this in once at construction so repeated solve() calls
+  /// skip re-detection.
   std::shared_ptr<const NumaTopology> topology;
   /// Fault-injection engine installed on every worker for this run (tests
   /// only; null = no injection). Effective only in WASP_CHAOS builds.
   chaos::Engine* chaos = nullptr;
 };
 
-/// Options for run_sssp().
+/// Dong et al. stepping knobs (Δ*-, ρ-, radius-stepping).
+struct SteppingOptions {
+  std::uint64_t rho = 1u << 14;    ///< ρ for ρ-stepping
+  bool direction_optimize = true;  ///< pull step on huge frontiers (also
+                                   ///< honored by Julienne)
+  std::uint32_t radius_k = 16;     ///< k for the r_k(v) preprocessing
+};
+
+/// GAP delta-stepping knobs.
+struct GapOptions {
+  bool bucket_fusion = true;
+};
+
+/// MultiQueue knobs.
+struct MqOptions {
+  int c = 2;           ///< queues per thread
+  int stickiness = 8;  ///< operations before re-picking queues
+  int buffer = 16;     ///< per-thread insertion buffer
+};
+
+/// Stealing-MultiQueue knob.
+struct SmqOptions {
+  int steal_batch = 8;
+};
+
+/// Galois/OBIM knob.
+struct ObimOptions {
+  std::uint32_t chunk_size = 128;
+};
+
+/// Options for run_sssp() / Solver. Per-algorithm knobs are nested; the
+/// top level keeps only what every algorithm shares (algo, threads, Δ,
+/// seed) and the run-lifecycle hooks.
 struct SsspOptions {
   Algorithm algo = Algorithm::kWasp;
   int threads = 1;
   Weight delta = 1;  ///< Δ (bucket width) for all Δ-based algorithms
 
   WaspConfig wasp;
-
-  // Dong et al. stepping knobs.
-  std::uint64_t rho = 1u << 14;     ///< ρ for ρ-stepping
-  bool direction_optimize = true;   ///< pull step on huge frontiers
-  // Radius-stepping knob.
-  std::uint32_t radius_k = 16;      ///< k for the r_k(v) preprocessing
-  // GAP knobs.
-  bool bucket_fusion = true;
-  // MultiQueue knobs.
-  int mq_c = 2;
-  int mq_stickiness = 8;
-  int mq_buffer = 16;
-  // Stealing-MultiQueue knob.
-  int smq_steal_batch = 8;
-  // Galois/OBIM knobs.
-  std::uint32_t obim_chunk_size = 128;
+  SteppingOptions stepping;
+  GapOptions gap;
+  MqOptions mq;
+  SmqOptions smq;
+  ObimOptions obim;
 
   std::uint64_t seed = 0x5EEDULL;
 
   /// Fault-injection engine threaded to the workers of chaos-aware
   /// algorithms (Wasp, SMQ-Dijkstra, delta-stepping). Null = no injection.
   chaos::Engine* chaos = nullptr;
+  /// Run-lifecycle hooks (null = none): live callbacks and the event-ring
+  /// recorder. Both must outlive the run; the observer must be thread-safe.
+  obs::RunObserver* observer = nullptr;
+  obs::TraceRecorder* trace = nullptr;
   /// Re-validate the CSR arrays (O(n + m)) before dispatch; the front-end
   /// always performs the O(1) source/threads/shape checks.
   bool paranoid_checks = false;
+
+  /// Rejects out-of-range knobs with InvalidOptionsError (delta == 0,
+  /// threads < 1, mq.c < 1, wasp.chunk_capacity outside the shipped
+  /// {16,32,64,128,256} instantiations, negative smq.steal_batch, ...).
+  /// Called once at the run_sssp/Solver front door; the algorithms assume
+  /// validated knobs.
+  void validate() const;
 };
 
-/// Instrumentation totals for one run.
+/// Instrumentation totals for one run — a compatibility view computed from
+/// the MetricsSnapshot (stats_from_snapshot below), kept so pre-registry
+/// callers and the bench tables read the totals they always did.
 struct SsspStats {
   double seconds = 0.0;            ///< parallel-phase wall time
   std::uint64_t relaxations = 0;
@@ -180,14 +218,30 @@ struct SsspStats {
   std::uint64_t idle_ns = 0;       ///< total Wasp idle/termination-scan time
 };
 
-/// Distances plus stats.
+/// Projects a registry snapshot onto the legacy stats view.
+SsspStats stats_from_snapshot(const obs::MetricsSnapshot& snap);
+
+/// Distances plus instrumentation (stats is the legacy view of metrics).
 struct SsspResult {
   std::vector<Distance> dist;
   SsspStats stats;
+  obs::MetricsSnapshot metrics;
 };
 
-/// Sums an array of per-thread counters into `stats`.
-void accumulate_counters(const std::vector<CachePadded<ThreadCounters>>& counters,
-                         SsspStats& stats);
+/// Everything a parallel SSSP implementation runs under. The front-end
+/// (run_sssp / Solver::solve) assembles one per run; the algorithm resets
+/// ctx.metrics at entry and reports exclusively through it.
+struct RunContext {
+  ThreadTeam& team;
+  obs::MetricsRegistry& metrics;  ///< must have >= team.size() shards
+  obs::TraceRecorder* trace = nullptr;
+  obs::RunObserver* observer = nullptr;
+  chaos::Engine* chaos = nullptr;
+};
+
+/// Shared run epilogue: records the team gauges and the elapsed time into
+/// the registry, snapshots it into `result.metrics`, and fills the legacy
+/// `result.stats` view.
+void finalize_result(RunContext& ctx, double seconds, SsspResult& result);
 
 }  // namespace wasp

@@ -5,11 +5,14 @@
 
 #include "support/padded.hpp"
 #include "support/spin_barrier.hpp"
+#include "support/thread_team.hpp"
 #include "support/timer.hpp"
 
 namespace wasp {
 
 namespace {
+
+using CId = obs::CounterId;
 
 constexpr std::uint64_t kInfBin = std::numeric_limits<std::uint64_t>::max();
 
@@ -41,15 +44,12 @@ constexpr std::size_t kFusionLimit = 1u << 12;
 }  // namespace
 
 SsspResult delta_stepping(const Graph& g, VertexId source, Weight delta,
-                          bool bucket_fusion, ThreadTeam& team,
-                          chaos::Engine* chaos) {
-  if (delta == 0) delta = 1;
-  const int p = team.size();
+                          bool bucket_fusion, RunContext& ctx) {
+  const int p = ctx.team.size();
   AtomicDistances dist(g.num_vertices());
   dist.store(source, 0);
 
   std::vector<CachePadded<LocalBins>> bins(static_cast<std::size_t>(p));
-  std::vector<CachePadded<ThreadCounters>> counters(static_cast<std::size_t>(p));
   std::vector<CachePadded<std::uint64_t>> local_min(static_cast<std::size_t>(p));
   std::vector<CachePadded<std::uint64_t>> local_size(static_cast<std::size_t>(p));
   std::vector<CachePadded<std::uint64_t>> local_offset(static_cast<std::size_t>(p));
@@ -62,10 +62,10 @@ SsspResult delta_stepping(const Graph& g, VertexId source, Weight delta,
   SpinBarrier barrier(p);
 
   Timer timer;
-  team.run([&](int tid) {
-    chaos::ScopedInstall chaos_guard(chaos, tid);
+  ctx.team.run([&](int tid) {
+    chaos::ScopedInstall chaos_guard(ctx.chaos, tid);
     auto& my_bins = bins[static_cast<std::size_t>(tid)].value;
-    auto& my = counters[static_cast<std::size_t>(tid)].value;
+    obs::MetricsShard& my = ctx.metrics.shard(tid);
 
     // Relaxes u's out-edges; improved vertices land in this thread's bins.
     const auto process_vertex = [&](VertexId u) {
@@ -74,15 +74,15 @@ SsspResult delta_stepping(const Graph& g, VertexId source, Weight delta,
       // Algorithm 1 line 20, distance[u] >= delta * prio.
       if (static_cast<std::uint64_t>(du) <
           curr_bin * static_cast<std::uint64_t>(delta)) {
-        ++my.stale_skips;
+        my.inc(CId::kStaleSkips);
         return;
       }
-      ++my.vertices_processed;
+      my.inc(CId::kVerticesProcessed);
       for (const WEdge& e : g.out_neighbors(u)) {
-        ++my.relaxations;
+        my.inc(CId::kRelaxations);
         const Distance nd = saturating_add(du, e.w);
         if (dist.relax_to(e.dst, nd)) {
-          ++my.updates;
+          my.inc(CId::kUpdates);
           my_bins.at(nd / delta).push_back(e.dst);
         }
       }
@@ -123,6 +123,13 @@ SsspResult delta_stepping(const Graph& g, VertexId source, Weight delta,
         curr_bin = next;
         done = next == kInfBin;
         ++rounds;
+        // One on_round per synchronous step, with the frontier this step just
+        // processed (call count == stats.rounds; tests rely on it).
+        my.observe(obs::HistId::kRoundFrontier, frontier.size());
+        obs::trace_instant(ctx.trace, tid, obs::EventKind::kRoundTransition,
+                           next == kInfBin ? 0 : next);
+        if (ctx.observer != nullptr)
+          ctx.observer->on_round(rounds, frontier.size());
       }
       barrier.wait(tid);
       if (done) break;
@@ -151,11 +158,11 @@ SsspResult delta_stepping(const Graph& g, VertexId source, Weight delta,
     }
   });
 
+  const double seconds = timer.seconds();
+  ctx.metrics.shard(0).inc(CId::kRounds, rounds);
+  ctx.metrics.shard(0).inc(CId::kBarrierNs, barrier.total_wait_ns());
   SsspResult result;
-  result.stats.seconds = timer.seconds();
-  result.stats.rounds = rounds;
-  result.stats.barrier_ns = barrier.total_wait_ns();
-  accumulate_counters(counters, result.stats);
+  finalize_result(ctx, seconds, result);
   result.dist = dist.snapshot();
   return result;
 }

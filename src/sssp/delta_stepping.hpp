@@ -13,11 +13,11 @@
 
 namespace wasp {
 
-/// Runs GAP-style delta-stepping with bucket width `delta` on `team`.
-/// `bucket_fusion` toggles the GraphIt/GAP bucket-fusion optimization.
-/// `chaos` (optional) installs a fault-injection engine on every worker.
+/// Runs GAP-style delta-stepping with bucket width `delta` (>= 1) on
+/// ctx.team. `bucket_fusion` toggles the GraphIt/GAP bucket-fusion
+/// optimization; ctx.chaos (optional) installs a fault-injection engine on
+/// every worker.
 SsspResult delta_stepping(const Graph& g, VertexId source, Weight delta,
-                          bool bucket_fusion, ThreadTeam& team,
-                          chaos::Engine* chaos = nullptr);
+                          bool bucket_fusion, RunContext& ctx);
 
 }  // namespace wasp

@@ -15,9 +15,11 @@ SsspResult dijkstra(const Graph& g, VertexId source) {
   result.dist[source] = 0;
   heap.push(0, source);
   std::uint64_t relaxations = 0;
+  std::uint64_t processed = 0;
   while (!heap.empty()) {
     const auto [d, u] = heap.pop();
     if (d != result.dist[u]) continue;  // stale entry (lazy deletion)
+    ++processed;
     for (const WEdge& e : g.out_neighbors(u)) {
       ++relaxations;
       const Distance candidate = saturating_add(d, e.w);
@@ -27,8 +29,15 @@ SsspResult dijkstra(const Graph& g, VertexId source) {
       }
     }
   }
-  result.stats.relaxations = relaxations;
-  result.stats.seconds = timer.seconds();
+  // The sequential reference still reports through the metrics pipeline so
+  // every SsspResult carries a snapshot, whatever the algorithm.
+  obs::MetricsRegistry metrics(1);
+  obs::MetricsShard& shard = metrics.shard(0);
+  shard.inc(obs::CounterId::kRelaxations, relaxations);
+  shard.inc(obs::CounterId::kVerticesProcessed, processed);
+  metrics.set_elapsed_seconds(timer.seconds());
+  result.metrics = metrics.snapshot();
+  result.stats = stats_from_snapshot(result.metrics);
   return result;
 }
 

@@ -5,11 +5,14 @@
 
 #include "support/padded.hpp"
 #include "support/spin_barrier.hpp"
+#include "support/thread_team.hpp"
 #include "support/timer.hpp"
 
 namespace wasp {
 
 namespace {
+
+using CId = obs::CounterId;
 
 constexpr std::uint64_t kInfBin = std::numeric_limits<std::uint64_t>::max();
 constexpr std::uint64_t kOpenBuckets = 32;  // GBBS default bucket count
@@ -25,15 +28,13 @@ struct Staging {
 }  // namespace
 
 SsspResult julienne_sssp(const Graph& g, VertexId source, Weight delta,
-                         bool direction_optimize, ThreadTeam& team) {
-  if (delta == 0) delta = 1;
-  const int p = team.size();
+                         bool direction_optimize, RunContext& ctx) {
+  const int p = ctx.team.size();
   const VertexId n = g.num_vertices();
   AtomicDistances dist(n);
   dist.store(source, 0);
 
   std::vector<CachePadded<Staging>> staging(static_cast<std::size_t>(p));
-  std::vector<CachePadded<ThreadCounters>> counters(static_cast<std::size_t>(p));
   std::vector<CachePadded<std::uint64_t>> reduce(static_cast<std::size_t>(p));
   std::vector<CachePadded<std::uint64_t>> sizes(static_cast<std::size_t>(p));
   std::vector<CachePadded<std::uint64_t>> offsets(static_cast<std::size_t>(p));
@@ -52,9 +53,9 @@ SsspResult julienne_sssp(const Graph& g, VertexId source, Weight delta,
   };
 
   Timer timer;
-  team.run([&](int tid) {
+  ctx.team.run([&](int tid) {
     auto& my_staging = staging[static_cast<std::size_t>(tid)].value;
-    auto& my = counters[static_cast<std::size_t>(tid)].value;
+    obs::MetricsShard& my = ctx.metrics.shard(tid);
 
     const auto stage_update = [&](VertexId v, Distance nd) {
       const std::uint64_t bin = bin_of(nd);
@@ -81,13 +82,13 @@ SsspResult julienne_sssp(const Graph& g, VertexId source, Weight delta,
             if (static_cast<std::uint64_t>(dist.load(v)) <= lower) continue;
             Distance best = dist.load(v);
             for (const WEdge& e : g.out_neighbors(v)) {
-              ++my.relaxations;
+              my.inc(CId::kRelaxations);
               const Distance du = dist.load(e.dst);
               const Distance through = saturating_add(du, e.w);
               if (through < best) best = through;
             }
             if (dist.relax_to(v, best)) {
-              ++my.updates;
+              my.inc(CId::kUpdates);
               stage_update(v, best);
             }
           }
@@ -100,15 +101,15 @@ SsspResult julienne_sssp(const Graph& g, VertexId source, Weight delta,
           const Distance du = dist.load(u);
           if (static_cast<std::uint64_t>(du) <
               curr_bin * static_cast<std::uint64_t>(delta)) {
-            ++my.stale_skips;
+            my.inc(CId::kStaleSkips);
             continue;
           }
-          ++my.vertices_processed;
+          my.inc(CId::kVerticesProcessed);
           for (const WEdge& e : g.out_neighbors(u)) {
-            ++my.relaxations;
+            my.inc(CId::kRelaxations);
             const Distance nd = saturating_add(du, e.w);
             if (dist.relax_to(e.dst, nd)) {
-              ++my.updates;
+              my.inc(CId::kUpdates);
               stage_update(e.dst, nd);
             }
           }
@@ -134,6 +135,11 @@ SsspResult julienne_sssp(const Graph& g, VertexId source, Weight delta,
           next = std::min(next, reduce[static_cast<std::size_t>(t)].value);
         curr_bin = next;
         ++rounds;
+        my.observe(obs::HistId::kRoundFrontier, frontier.size());
+        obs::trace_instant(ctx.trace, tid, obs::EventKind::kRoundTransition,
+                           next == kInfBin ? 0 : next);
+        if (ctx.observer != nullptr)
+          ctx.observer->on_round(rounds, frontier.size());
       }
       barrier.wait(tid);
 
@@ -213,11 +219,11 @@ SsspResult julienne_sssp(const Graph& g, VertexId source, Weight delta,
     }
   });
 
+  const double seconds = timer.seconds();
+  ctx.metrics.shard(0).inc(CId::kRounds, rounds);
+  ctx.metrics.shard(0).inc(CId::kBarrierNs, barrier.total_wait_ns());
   SsspResult result;
-  result.stats.seconds = timer.seconds();
-  result.stats.rounds = rounds;
-  result.stats.barrier_ns = barrier.total_wait_ns();
-  accumulate_counters(counters, result.stats);
+  finalize_result(ctx, seconds, result);
   result.dist = dist.snapshot();
   return result;
 }

@@ -15,9 +15,10 @@
 
 namespace wasp {
 
-/// Runs GBBS/Julienne-style delta-stepping. `direction_optimize` enables the
-/// pull step on dense frontiers of undirected graphs.
+/// Runs GBBS/Julienne-style delta-stepping (delta >= 1).
+/// `direction_optimize` enables the pull step on dense frontiers of
+/// undirected graphs.
 SsspResult julienne_sssp(const Graph& g, VertexId source, Weight delta,
-                         bool direction_optimize, ThreadTeam& team);
+                         bool direction_optimize, RunContext& ctx);
 
 }  // namespace wasp

@@ -4,13 +4,15 @@
 #include <thread>
 
 #include "concurrent/multiqueue.hpp"
+#include "support/thread_team.hpp"
 #include "support/timer.hpp"
 
 namespace wasp {
 
 SsspResult mq_dijkstra(const Graph& g, VertexId source, int c, int stickiness,
-                       int buffer_size, std::uint64_t seed, ThreadTeam& team) {
-  const int p = team.size();
+                       int buffer_size, std::uint64_t seed, RunContext& ctx) {
+  using CId = obs::CounterId;
+  const int p = ctx.team.size();
   AtomicDistances dist(g.num_vertices());
   dist.store(source, 0);
 
@@ -24,14 +26,14 @@ SsspResult mq_dijkstra(const Graph& g, VertexId source, int c, int stickiness,
   mq.push(0, 0, source);
   mq.flush(0);
 
-  std::vector<CachePadded<ThreadCounters>> counters(static_cast<std::size_t>(p));
   // Threads currently holding popped work; termination needs the queue empty
   // AND nobody mid-processing (a processor may push more work).
   std::atomic<int> busy{0};
 
   Timer timer;
-  team.run([&](int tid) {
-    auto& my = counters[static_cast<std::size_t>(tid)].value;
+  ctx.team.run([&](int tid) {
+    obs::MetricsShard& my = ctx.metrics.shard(tid);
+    std::uint64_t progress = 0;
     for (;;) {
       Distance d = 0;
       VertexId u = 0;
@@ -42,14 +44,17 @@ SsspResult mq_dijkstra(const Graph& g, VertexId source, int c, int stickiness,
       busy.fetch_add(1, std::memory_order_acq_rel);
       if (mq.try_pop(tid, d, u)) {
         // Stale check: a better path was found after this entry was pushed.
-        if (d != dist.load(u)) ++my.stale_skips;
+        if (d != dist.load(u)) my.inc(CId::kStaleSkips);
         if (d == dist.load(u)) {
-          ++my.vertices_processed;
+          my.inc(CId::kVerticesProcessed);
+          ++progress;
+          if (ctx.observer != nullptr && (progress & 0xFFFu) == 0)
+            ctx.observer->on_progress(tid, progress);
           for (const WEdge& e : g.out_neighbors(u)) {
-            ++my.relaxations;
+            my.inc(CId::kRelaxations);
             const Distance nd = saturating_add(d, e.w);
             if (dist.relax_to(e.dst, nd)) {
-              ++my.updates;
+              my.inc(CId::kUpdates);
               mq.push(tid, nd, e.dst);
             }
           }
@@ -59,16 +64,20 @@ SsspResult mq_dijkstra(const Graph& g, VertexId source, int c, int stickiness,
         continue;
       }
       busy.fetch_sub(1, std::memory_order_acq_rel);
-      if (mq.size_estimate() == 0 && busy.load(std::memory_order_acquire) == 0)
+      my.inc(CId::kTerminationScans);
+      if (mq.size_estimate() == 0 && busy.load(std::memory_order_acquire) == 0) {
+        if (ctx.observer != nullptr) ctx.observer->on_termination(tid);
         break;
+      }
       std::this_thread::yield();
     }
   });
 
+  const double seconds = timer.seconds();
+  for (int t = 0; t < p; ++t)
+    ctx.metrics.shard(0).inc(CId::kQueueOpNs, mq.queue_op_ns(t));
   SsspResult result;
-  result.stats.seconds = timer.seconds();
-  for (int t = 0; t < p; ++t) result.stats.queue_op_ns += mq.queue_op_ns(t);
-  accumulate_counters(counters, result.stats);
+  finalize_result(ctx, seconds, result);
   result.dist = dist.snapshot();
   return result;
 }

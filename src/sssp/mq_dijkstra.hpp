@@ -14,6 +14,6 @@ namespace wasp {
 /// `buffer_size` mirror the paper's MultiQueue configuration (c = 2, b = 16,
 /// stickiness tuned per graph).
 SsspResult mq_dijkstra(const Graph& g, VertexId source, int c, int stickiness,
-                       int buffer_size, std::uint64_t seed, ThreadTeam& team);
+                       int buffer_size, std::uint64_t seed, RunContext& ctx);
 
 }  // namespace wasp

@@ -8,11 +8,14 @@
 
 #include "concurrent/spinlock.hpp"
 #include "support/padded.hpp"
+#include "support/thread_team.hpp"
 #include "support/timer.hpp"
 
 namespace wasp {
 
 namespace {
+
+using CId = obs::CounterId;
 
 constexpr std::uint64_t kInfLevel = ~std::uint64_t{0};
 
@@ -117,15 +120,11 @@ struct LocalBags {
 }  // namespace
 
 SsspResult obim_sssp(const Graph& g, VertexId source, Weight delta,
-                     std::uint32_t chunk_size, ThreadTeam& team) {
-  if (delta == 0) delta = 1;
-  if (chunk_size == 0) chunk_size = 128;
-  const int p = team.size();
+                     std::uint32_t chunk_size, RunContext& ctx) {
   AtomicDistances dist(g.num_vertices());
   dist.store(source, 0);
 
   GlobalBags global;
-  std::vector<CachePadded<ThreadCounters>> counters(static_cast<std::size_t>(p));
   // Vertices in the system (local bags + global bags + being processed).
   std::atomic<std::int64_t> pending{0};
 
@@ -137,10 +136,11 @@ SsspResult obim_sssp(const Graph& g, VertexId source, Weight delta,
   }
 
   Timer timer;
-  team.run([&](int tid) {
-    auto& my = counters[static_cast<std::size_t>(tid)].value;
+  ctx.team.run([&](int tid) {
+    obs::MetricsShard& my = ctx.metrics.shard(tid);
     LocalBags local;
     std::uint64_t curr = kInfLevel;
+    std::uint64_t progress = 0;
 
     const auto push_update = [&](VertexId v, Distance nd) {
       const std::uint64_t level = static_cast<std::uint64_t>(nd) / delta;
@@ -160,16 +160,19 @@ SsspResult obim_sssp(const Graph& g, VertexId source, Weight delta,
       const Distance du = dist.load(u);
       if (static_cast<std::uint64_t>(du) <
           level * static_cast<std::uint64_t>(delta)) {
-        ++my.stale_skips;
+        my.inc(CId::kStaleSkips);
       }
       if (static_cast<std::uint64_t>(du) >=
           level * static_cast<std::uint64_t>(delta)) {
-        ++my.vertices_processed;
+        my.inc(CId::kVerticesProcessed);
+        ++progress;
+        if (ctx.observer != nullptr && (progress & 0xFFFu) == 0)
+          ctx.observer->on_progress(tid, progress);
         for (const WEdge& e : g.out_neighbors(u)) {
-          ++my.relaxations;
+          my.inc(CId::kRelaxations);
           const Distance nd = saturating_add(du, e.w);
           if (dist.relax_to(e.dst, nd)) {
-            ++my.updates;
+            my.inc(CId::kUpdates);
             push_update(e.dst, nd);
           }
         }
@@ -193,7 +196,11 @@ SsspResult obim_sssp(const Graph& g, VertexId source, Weight delta,
       const std::uint64_t best_local = local.best_level();
       const std::uint64_t best_global = global.best_level();
       if (best_local == kInfLevel && best_global == kInfLevel) {
-        if (pending.load(std::memory_order_acquire) == 0) break;
+        my.inc(CId::kTerminationScans);
+        if (pending.load(std::memory_order_acquire) == 0) {
+          if (ctx.observer != nullptr) ctx.observer->on_termination(tid);
+          break;
+        }
         std::this_thread::yield();
         continue;
       }
@@ -214,8 +221,7 @@ SsspResult obim_sssp(const Graph& g, VertexId source, Weight delta,
   });
 
   SsspResult result;
-  result.stats.seconds = timer.seconds();
-  accumulate_counters(counters, result.stats);
+  finalize_result(ctx, timer.seconds(), result);
   result.dist = dist.snapshot();
   return result;
 }

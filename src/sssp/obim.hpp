@@ -17,8 +17,9 @@
 
 namespace wasp {
 
-/// Runs OBIM-style asynchronous delta-stepping with the given chunk size.
+/// Runs OBIM-style asynchronous delta-stepping with the given chunk size
+/// (delta >= 1, chunk_size >= 1).
 SsspResult obim_sssp(const Graph& g, VertexId source, Weight delta,
-                     std::uint32_t chunk_size, ThreadTeam& team);
+                     std::uint32_t chunk_size, RunContext& ctx);
 
 }  // namespace wasp

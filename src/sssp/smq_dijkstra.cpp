@@ -4,14 +4,15 @@
 #include <thread>
 
 #include "concurrent/stealing_multiqueue.hpp"
+#include "support/thread_team.hpp"
 #include "support/timer.hpp"
 
 namespace wasp {
 
 SsspResult smq_dijkstra(const Graph& g, VertexId source, int steal_batch,
-                        std::uint64_t seed, ThreadTeam& team,
-                        chaos::Engine* chaos) {
-  const int p = team.size();
+                        std::uint64_t seed, RunContext& ctx) {
+  using CId = obs::CounterId;
+  const int p = ctx.team.size();
   AtomicDistances dist(g.num_vertices());
   dist.store(source, 0);
 
@@ -22,13 +23,13 @@ SsspResult smq_dijkstra(const Graph& g, VertexId source, int steal_batch,
   StealingMultiQueue smq(config);
   smq.push(0, 0, source);
 
-  std::vector<CachePadded<ThreadCounters>> counters(static_cast<std::size_t>(p));
   std::atomic<int> busy{0};
 
   Timer timer;
-  team.run([&](int tid) {
-    chaos::ScopedInstall chaos_guard(chaos, tid);
-    auto& my = counters[static_cast<std::size_t>(tid)].value;
+  ctx.team.run([&](int tid) {
+    chaos::ScopedInstall chaos_guard(ctx.chaos, tid);
+    obs::MetricsShard& my = ctx.metrics.shard(tid);
+    std::uint64_t progress = 0;
     for (;;) {
       Distance d = 0;
       VertexId u = 0;
@@ -37,14 +38,17 @@ SsspResult smq_dijkstra(const Graph& g, VertexId source, int steal_batch,
       // is mid-processing.
       busy.fetch_add(1, std::memory_order_acq_rel);
       if (smq.try_pop(tid, d, u)) {
-        if (d != dist.load(u)) ++my.stale_skips;
+        if (d != dist.load(u)) my.inc(CId::kStaleSkips);
         if (d == dist.load(u)) {  // stale check
-          ++my.vertices_processed;
+          my.inc(CId::kVerticesProcessed);
+          ++progress;
+          if (ctx.observer != nullptr && (progress & 0xFFFu) == 0)
+            ctx.observer->on_progress(tid, progress);
           for (const WEdge& e : g.out_neighbors(u)) {
-            ++my.relaxations;
+            my.inc(CId::kRelaxations);
             const Distance nd = saturating_add(d, e.w);
             if (dist.relax_to(e.dst, nd)) {
-              ++my.updates;
+              my.inc(CId::kUpdates);
               smq.push(tid, nd, e.dst);
             }
           }
@@ -53,15 +57,17 @@ SsspResult smq_dijkstra(const Graph& g, VertexId source, int steal_batch,
         continue;
       }
       busy.fetch_sub(1, std::memory_order_acq_rel);
-      if (smq.size_estimate() == 0 && busy.load(std::memory_order_acquire) == 0)
+      my.inc(CId::kTerminationScans);
+      if (smq.size_estimate() == 0 && busy.load(std::memory_order_acquire) == 0) {
+        if (ctx.observer != nullptr) ctx.observer->on_termination(tid);
         break;
+      }
       std::this_thread::yield();
     }
   });
 
   SsspResult result;
-  result.stats.seconds = timer.seconds();
-  accumulate_counters(counters, result.stats);
+  finalize_result(ctx, timer.seconds(), result);
   result.dist = dist.snapshot();
   return result;
 }

@@ -10,9 +10,8 @@
 namespace wasp {
 
 /// Runs SMQ-based parallel Dijkstra with steal batches of `steal_batch`.
-/// `chaos` (optional) installs a fault-injection engine on every worker.
+/// ctx.chaos (optional) installs a fault-injection engine on every worker.
 SsspResult smq_dijkstra(const Graph& g, VertexId source, int steal_batch,
-                        std::uint64_t seed, ThreadTeam& team,
-                        chaos::Engine* chaos = nullptr);
+                        std::uint64_t seed, RunContext& ctx);
 
 }  // namespace wasp

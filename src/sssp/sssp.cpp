@@ -32,8 +32,6 @@ void check_inputs(const Graph& g, VertexId source, const SsspOptions& options) {
        << g.num_vertices() << ")";
     throw InvalidSourceError(os.str());
   }
-  if (options.threads < 1)
-    throw InvalidOptionsError("run_sssp: threads must be >= 1");
   if (!options.paranoid_checks) return;
   const auto& offsets = g.offsets();
   const auto& adjacency = g.adjacency();
@@ -57,54 +55,74 @@ void check_inputs(const Graph& g, VertexId source, const SsspOptions& options) {
 
 }  // namespace
 
-SsspResult run_sssp(const Graph& g, VertexId source, const SsspOptions& options,
-                    ThreadTeam& team) {
+namespace detail {
+
+SsspResult dispatch_sssp(const Graph& g, VertexId source,
+                         const SsspOptions& options, RunContext& ctx) {
+  options.validate();
   check_inputs(g, source, options);
+  ctx.metrics.reset();
   switch (options.algo) {
     case Algorithm::kDijkstra:
       return dijkstra(g, source);
     case Algorithm::kBellmanFord:
-      return bellman_ford(g, source, team);
+      return bellman_ford(g, source, ctx);
     case Algorithm::kDeltaStepping:
-      return delta_stepping(g, source, options.delta, options.bucket_fusion,
-                            team, options.chaos);
+      return delta_stepping(g, source, options.delta, options.gap.bucket_fusion,
+                            ctx);
     case Algorithm::kJulienne:
-      return julienne_sssp(g, source, options.delta, options.direction_optimize,
-                           team);
+      return julienne_sssp(g, source, options.delta,
+                           options.stepping.direction_optimize, ctx);
     case Algorithm::kDeltaStar:
       return stepping_sssp(g, source, SteppingKind::kDeltaStar, options.delta,
-                           options.rho, options.direction_optimize, team);
+                           options.stepping.rho,
+                           options.stepping.direction_optimize, ctx);
     case Algorithm::kRhoStepping:
       return stepping_sssp(g, source, SteppingKind::kRho, options.delta,
-                           options.rho, options.direction_optimize, team);
+                           options.stepping.rho,
+                           options.stepping.direction_optimize, ctx);
     case Algorithm::kRadiusStepping: {
       // Preprocessing (the r_k radii) is part of radius-stepping's contract;
       // its cost is excluded from stats.seconds like the baselines' graph
       // loading, but callers wanting end-to-end cost can time this call.
       const std::vector<Distance> radii =
-          compute_radii(g, options.radius_k, team);
+          compute_radii(g, options.stepping.radius_k, ctx.team);
       return stepping_sssp(g, source, SteppingKind::kRadius, options.delta,
-                           options.rho, options.direction_optimize, team,
-                           &radii);
+                           options.stepping.rho,
+                           options.stepping.direction_optimize, ctx, &radii);
     }
     case Algorithm::kMqDijkstra:
-      return mq_dijkstra(g, source, options.mq_c, options.mq_stickiness,
-                         options.mq_buffer, options.seed, team);
+      return mq_dijkstra(g, source, options.mq.c, options.mq.stickiness,
+                         options.mq.buffer, options.seed, ctx);
     case Algorithm::kSmqDijkstra:
-      return smq_dijkstra(g, source, options.smq_steal_batch, options.seed,
-                          team, options.chaos);
-    case Algorithm::kObim:
-      return obim_sssp(g, source, options.delta, options.obim_chunk_size, team);
+      return smq_dijkstra(g, source, options.smq.steal_batch, options.seed,
+                          ctx);
     case Algorithm::kWasp: {
       WaspConfig cfg = options.wasp;
-      if (cfg.chaos == nullptr) cfg.chaos = options.chaos;
-      return wasp_sssp(g, source, options.delta, cfg, team);
+      if (cfg.chaos == nullptr) cfg.chaos = ctx.chaos;
+      return wasp_sssp(g, source, options.delta, cfg, ctx);
     }
+    case Algorithm::kObim:
+      return obim_sssp(g, source, options.delta, options.obim.chunk_size, ctx);
   }
   return dijkstra(g, source);  // unreachable
 }
 
-SsspResult run_sssp(const Graph& g, VertexId source, const SsspOptions& options) {
+}  // namespace detail
+
+SsspResult run_sssp(const Graph& g, VertexId source, const SsspOptions& options,
+                    ThreadTeam& team) {
+  obs::MetricsRegistry metrics(team.size());
+  RunContext ctx{team, metrics, options.trace, options.observer,
+                 options.chaos};
+  return detail::dispatch_sssp(g, source, options, ctx);
+}
+
+SsspResult run_sssp(const Graph& g, VertexId source,
+                    const SsspOptions& options) {
+  // Validate before spinning up the team so a bad threads count raises
+  // InvalidOptionsError (not ThreadTeam's bare invalid_argument).
+  options.validate();
   ThreadTeam team(options.threads);
   return run_sssp(g, source, options, team);
 }

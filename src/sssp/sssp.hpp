@@ -1,8 +1,7 @@
 // Unified SSSP front-end: one call dispatching to any of the eleven
 // implementations (Wasp, the six paper baselines, two related-work extension
 // baselines — radius-stepping and the Stealing MultiQueue — and two
-// references), all returning the same SsspResult.  This is the library's
-// primary public API:
+// references), all returning the same SsspResult.
 //
 //   #include "sssp/sssp.hpp"
 //   wasp::SsspOptions opt;
@@ -11,8 +10,12 @@
 //   opt.delta = 1;
 //   wasp::SsspResult r = wasp::run_sssp(graph, source, opt);
 //
-// A ThreadTeam overload is provided for callers that amortize worker-thread
-// creation across many runs (the benchmark harness does).
+// Per-algorithm knobs are nested (opt.stepping.rho, opt.mq.c, ...); options
+// are validated once at this front door (SsspOptions::validate()).
+//
+// Callers that amortize worker-thread creation, NUMA detection, and metrics
+// allocation across many runs should use wasp::Solver (sssp/solver.hpp);
+// the ThreadTeam overload below remains for callers that only share a team.
 #pragma once
 
 #include "graph/graph.hpp"
@@ -28,5 +31,13 @@ SsspResult run_sssp(const Graph& g, VertexId source, const SsspOptions& options)
 /// Same, on a caller-provided team (team.size() overrides options.threads).
 SsspResult run_sssp(const Graph& g, VertexId source, const SsspOptions& options,
                     ThreadTeam& team);
+
+namespace detail {
+/// The shared dispatch behind both run_sssp overloads and Solver::solve:
+/// validates inputs and options, then runs options.algo under `ctx`
+/// (ctx.metrics needs >= ctx.team.size() shards; it is reset here).
+SsspResult dispatch_sssp(const Graph& g, VertexId source,
+                         const SsspOptions& options, RunContext& ctx);
+}  // namespace detail
 
 }  // namespace wasp

@@ -10,11 +10,14 @@
 #include "support/padded.hpp"
 #include "support/random.hpp"
 #include "support/spin_barrier.hpp"
+#include "support/thread_team.hpp"
 #include "support/timer.hpp"
 
 namespace wasp {
 
 namespace {
+
+using CId = obs::CounterId;
 
 constexpr std::size_t kSparseLimit = 64;   // super-sparse round cut-off
 constexpr std::uint64_t kPullDivisor = 20; // pull when frontier degree > |E|/20
@@ -60,18 +63,15 @@ std::vector<Distance> compute_radii(const Graph& g, std::uint32_t k,
 
 SsspResult stepping_sssp(const Graph& g, VertexId source, SteppingKind kind,
                          Weight delta, std::uint64_t rho,
-                         bool direction_optimize, ThreadTeam& team,
+                         bool direction_optimize, RunContext& ctx,
                          const std::vector<Distance>* radii) {
-  if (delta == 0) delta = 1;
-  if (rho == 0) rho = 1;
   if (kind == SteppingKind::kRadius && radii == nullptr)
     throw std::invalid_argument("radius-stepping needs precomputed radii");
-  const int p = team.size();
+  const int p = ctx.team.size();
   const VertexId n = g.num_vertices();
   AtomicDistances dist(n);
   dist.store(source, 0);
 
-  std::vector<CachePadded<ThreadCounters>> counters(static_cast<std::size_t>(p));
   std::vector<CachePadded<Distance>> local_min(static_cast<std::size_t>(p));
   std::vector<CachePadded<Distance>> local_rmin(static_cast<std::size_t>(p));
   FrontierBag bag(p);
@@ -96,15 +96,15 @@ SsspResult stepping_sssp(const Graph& g, VertexId source, SteppingKind kind,
   };
 
   Timer timer;
-  team.run([&](int tid) {
-    auto& my = counters[static_cast<std::size_t>(tid)].value;
+  ctx.team.run([&](int tid) {
+    obs::MetricsShard& my = ctx.metrics.shard(tid);
 
     const auto relax_out = [&](VertexId u, Distance du) {
-      ++my.vertices_processed;
+      my.inc(CId::kVerticesProcessed);
       for (const WEdge& e : g.out_neighbors(u)) {
-        ++my.relaxations;
+        my.inc(CId::kRelaxations);
         if (dist.relax_to(e.dst, saturating_add(du, e.w))) {
-          ++my.updates;
+          my.inc(CId::kUpdates);
           enqueue(tid, e.dst);
         }
       }
@@ -209,11 +209,11 @@ SsspResult stepping_sssp(const Graph& g, VertexId source, SteppingKind kind,
                 continue;
               }
               in_frontier[u].exchange(0, std::memory_order_acq_rel);
-              ++my.vertices_processed;
+              my.inc(CId::kVerticesProcessed);
               for (const WEdge& e : g.out_neighbors(u)) {
-                ++my.relaxations;
+                my.inc(CId::kRelaxations);
                 if (dist.relax_to(e.dst, saturating_add(du, e.w))) {
-                  ++my.updates;
+                  my.inc(CId::kUpdates);
                   if (in_frontier[e.dst].exchange(1, std::memory_order_acq_rel) == 0)
                     next_seq.push_back(e.dst);
                 }
@@ -251,13 +251,13 @@ SsspResult stepping_sssp(const Graph& g, VertexId source, SteppingKind kind,
             if (dist.load(v) <= settled_bound) continue;
             Distance best = dist.load(v);
             for (const WEdge& e : g.out_neighbors(v)) {
-              ++my.relaxations;
+              my.inc(CId::kRelaxations);
               const Distance du = dist.load(e.dst);
               const Distance through = saturating_add(du, e.w);
               if (through < best) best = through;
             }
             if (dist.relax_to(v, best)) {
-              ++my.updates;
+              my.inc(CId::kUpdates);
               enqueue(tid, v);
             }
           }
@@ -280,11 +280,16 @@ SsspResult stepping_sssp(const Graph& g, VertexId source, SteppingKind kind,
 
       // --- Phase 3: gather the next frontier. ----------------------------
       if (tid == 0) {
+        const std::size_t processed = frontier.size();
         const std::size_t total = bag.compute_offsets();
         frontier.resize(total);
         cursor.store(0, std::memory_order_relaxed);
         done = total == 0;
         ++rounds;
+        my.observe(obs::HistId::kRoundFrontier, processed);
+        obs::trace_instant(ctx.trace, tid, obs::EventKind::kRoundTransition,
+                           total);
+        if (ctx.observer != nullptr) ctx.observer->on_round(rounds, processed);
       }
       barrier.wait(tid);
       if (done) break;
@@ -293,11 +298,11 @@ SsspResult stepping_sssp(const Graph& g, VertexId source, SteppingKind kind,
     }
   });
 
+  const double seconds = timer.seconds();
+  ctx.metrics.shard(0).inc(CId::kRounds, rounds);
+  ctx.metrics.shard(0).inc(CId::kBarrierNs, barrier.total_wait_ns());
   SsspResult result;
-  result.stats.seconds = timer.seconds();
-  result.stats.rounds = rounds;
-  result.stats.barrier_ns = barrier.total_wait_ns();
-  accumulate_counters(counters, result.stats);
+  finalize_result(ctx, seconds, result);
   result.dist = dist.snapshot();
   return result;
 }

@@ -28,12 +28,12 @@ enum class SteppingKind {
                ///< (radius-stepping, Blelloch et al. SPAA'16 — related work)
 };
 
-/// Runs Δ*-stepping (delta = window width), ρ-stepping (rho = batch size) or
-/// radius-stepping (radii = per-vertex k-radius from compute_radii; required
-/// for kRadius, ignored otherwise).
+/// Runs Δ*-stepping (delta = window width, >= 1), ρ-stepping (rho = batch
+/// size, >= 1) or radius-stepping (radii = per-vertex k-radius from
+/// compute_radii; required for kRadius, ignored otherwise).
 SsspResult stepping_sssp(const Graph& g, VertexId source, SteppingKind kind,
                          Weight delta, std::uint64_t rho,
-                         bool direction_optimize, ThreadTeam& team,
+                         bool direction_optimize, RunContext& ctx,
                          const std::vector<Distance>* radii = nullptr);
 
 /// Radius-stepping preprocessing: r_k(v) = distance from v to its k-th

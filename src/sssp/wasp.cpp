@@ -7,14 +7,19 @@
 #include "concurrent/chase_lev_deque.hpp"
 #include "concurrent/chunk.hpp"
 #include "graph/algorithms.hpp"
+#include "support/errors.hpp"
 #include "support/padded.hpp"
 #include "support/random.hpp"
+#include "support/thread_team.hpp"
 #include "support/timer.hpp"
 #include "verify/checked_atomic.hpp"
 
 namespace wasp {
 
 namespace {
+
+using CId = obs::CounterId;
+using EK = obs::EventKind;
 
 /// `curr` value of a thread that is out of local work and sweeping victims.
 /// Distinct from kInfPriority so a thief holding a freshly stolen chunk can
@@ -63,23 +68,24 @@ struct WaspShared {
   AtomicDistances& dist;
   Weight delta;
   const WaspConfig& config;
+  RunContext& ctx;  ///< metrics shards, trace recorder, observer
   const std::vector<std::uint8_t>* leaf;  // null when leaf pruning is off
   std::vector<CachePadded<verify::atomic<std::uint64_t>>> curr;
   std::vector<std::unique_ptr<ChaseLevDeque<ChunkT*>>> deques;
   VictimTiers tiers;
   BasicChunkArena<ChunkT> arena;
-  std::vector<CachePadded<ThreadCounters>> counters;
   /// Bumped whenever a thread enters a termination-mode steal sweep; the
   /// double-scan termination check needs it to detect work migrating behind
   /// a scan (see WaspWorker::terminate).
   verify::atomic<std::uint64_t> steal_epoch{0};
 
   WaspShared(const Graph& g, AtomicDistances& d, Weight delta_,
-             const WaspConfig& cfg, const std::vector<std::uint8_t>* leaf_,
-             int p, const NumaTopology& topo, const std::vector<int>& cpu_of)
-      : graph(g), dist(d), delta(delta_), config(cfg), leaf(leaf_),
+             const WaspConfig& cfg, RunContext& ctx_,
+             const std::vector<std::uint8_t>* leaf_, int p,
+             const NumaTopology& topo, const std::vector<int>& cpu_of)
+      : graph(g), dist(d), delta(delta_), config(cfg), ctx(ctx_), leaf(leaf_),
         curr(static_cast<std::size_t>(p)), deques(static_cast<std::size_t>(p)),
-        tiers(topo, cpu_of), counters(static_cast<std::size_t>(p)) {
+        tiers(topo, cpu_of) {
     for (auto& c : curr) c.value.store(kInfPriority, std::memory_order_relaxed);
     for (auto& d_ : deques) d_ = std::make_unique<ChaseLevDeque<ChunkT*>>();
   }
@@ -91,10 +97,10 @@ class WaspWorker {
  public:
   WaspWorker(WaspShared<ChunkT>& shared, int tid)
       : s_(shared), tid_(tid), pool_(shared.arena),
-        my_(shared.counters[static_cast<std::size_t>(tid)].value),
+        my_(shared.ctx.metrics.shard(tid)),
         rng_(hash_mix(0xA5B5ULL + static_cast<std::uint64_t>(tid))),
         deque_(shared.deques[static_cast<std::size_t>(tid)].get()) {
-    buffer_ = pool_.get();
+    buffer_ = alloc_chunk();
   }
 
   /// Seeds the source vertex into this worker's current bucket (called on
@@ -118,6 +124,8 @@ class WaspWorker {
       if (next != kInfPriority) {
         // Advance to the next local bucket (L29-32): move its chunks into
         // the work-stealing deque.
+        my_.inc(CId::kBucketAdvances);
+        obs::trace_instant(s_.ctx.trace, tid_, EK::kBucketAdvance, next);
         publish_curr(next);
         pour_bucket(next);
         continue;
@@ -127,6 +135,14 @@ class WaspWorker {
   }
 
  private:
+  /// Every chunk-pool allocation goes through here so the alloc rate is
+  /// observable (kChunkAllocs + trace instants).
+  ChunkT* alloc_chunk() {
+    my_.inc(CId::kChunkAllocs);
+    obs::trace_instant(s_.ctx.trace, tid_, EK::kChunkAlloc);
+    return pool_.get();
+  }
+
   // --- current bucket ----------------------------------------------------
 
   void publish_curr(std::uint64_t level) {
@@ -168,7 +184,7 @@ class WaspWorker {
     std::uint32_t begin, end;
     while (pop_current(u, prio, begin, end)) {
       if (is_stale(u, prio)) {
-        ++my_.stale_skips;
+        my_.inc(CId::kStaleSkips);
         continue;
       }
       process_neighborhood(u, prio, begin, end);
@@ -189,7 +205,7 @@ class WaspWorker {
     if (level == curr_cache_) {
       if (buffer_->full()) {
         deque_->push_bottom(buffer_);
-        buffer_ = pool_.get();
+        buffer_ = alloc_chunk();
       }
       if (buffer_->empty()) buffer_->set_priority(level);
       buffer_->push(v);
@@ -197,7 +213,7 @@ class WaspWorker {
     }
     ChunkT*& head = buckets_.at(level);
     if (head == nullptr || head->full()) {
-      ChunkT* fresh = pool_.get();
+      ChunkT* fresh = alloc_chunk();
       fresh->set_priority(level);
       fresh->next = head;
       head = fresh;
@@ -235,7 +251,7 @@ class WaspWorker {
       if (s_.config.neighborhood_decomposition && degree > s_.config.theta) {
         for (std::uint32_t lo = s_.config.theta; lo < degree;
              lo += s_.config.theta) {
-          ChunkT* slice = pool_.get();
+          ChunkT* slice = alloc_chunk();
           slice->make_range(u, lo, std::min(lo + s_.config.theta, degree));
           push_chunk(slice, prio);
         }
@@ -251,23 +267,26 @@ class WaspWorker {
         degree <= 8 && begin == 0) {
       Distance best = du;
       for (const WEdge& e : g.out_neighbors(u)) {
-        ++my_.relaxations;
+        my_.inc(CId::kRelaxations);
         const Distance dn = s_.dist.load(e.dst);
         const Distance through = saturating_add(dn, e.w);
         if (through < best) best = through;
       }
       if (best < du) {
-        if (s_.dist.relax_to(u, best)) ++my_.updates;
+        if (s_.dist.relax_to(u, best)) my_.inc(CId::kUpdates);
         du = s_.dist.load(u);
       }
     }
 
-    ++my_.vertices_processed;
+    my_.inc(CId::kVerticesProcessed);
+    ++progress_;
+    if (s_.ctx.observer != nullptr && (progress_ & 0xFFFu) == 0)
+      s_.ctx.observer->on_progress(tid_, progress_);
     for (const WEdge& e : g.out_neighbors(u, begin, end)) {
-      ++my_.relaxations;
+      my_.inc(CId::kRelaxations);
       const Distance nd = saturating_add(du, e.w);
       if (s_.dist.relax_to(e.dst, nd)) {
-        ++my_.updates;
+        my_.inc(CId::kUpdates);
         // Leaf pruning (§4.4): a shortest-path-tree leaf can never improve
         // another vertex; update its distance but never schedule it.
         if (s_.leaf != nullptr && (*s_.leaf)[e.dst]) continue;
@@ -285,6 +304,7 @@ class WaspWorker {
   bool try_steal_and_process(std::uint64_t next) {
     ChunkT* stolen[64];
     int count = 0;
+    obs::trace_begin(s_.ctx.trace, tid_, EK::kStealSweep, next);
     Timer steal_timer;
     switch (s_.config.steal_policy) {
       case StealPolicy::kPriorityNuma:
@@ -297,7 +317,11 @@ class WaspWorker {
         count = steal_two_choice(stolen);
         break;
     }
-    my_.steal_ns += steal_timer.nanoseconds();
+    const std::uint64_t sweep_ns = steal_timer.nanoseconds();
+    my_.inc(CId::kStealNs, sweep_ns);
+    my_.observe(obs::HistId::kStealSweepNs, sweep_ns);
+    obs::trace_end(s_.ctx.trace, tid_, EK::kStealSweep,
+                   static_cast<std::uint64_t>(count));
     if (count == 0) return false;
 
     std::uint64_t best = kInfPriority;
@@ -314,7 +338,7 @@ class WaspWorker {
       while (!c->empty()) {
         const VertexId u = c->pop();
         if (is_stale(u, prio)) {
-          ++my_.stale_skips;
+          my_.inc(CId::kStaleSkips);
           continue;
         }
         if (range) {
@@ -337,14 +361,20 @@ class WaspWorker {
     int count = 0;
     for (const auto& tier : s_.tiers.tiers(tid_)) {
       for (const int t : tier) {
-        ++my_.steal_attempts;
+        my_.inc(CId::kStealAttempts);
+        obs::trace_instant(s_.ctx.trace, tid_, EK::kStealAttempt,
+                           static_cast<std::uint64_t>(t));
         const std::uint64_t victim_curr =
             s_.curr[static_cast<std::size_t>(t)].value.load(
                 std::memory_order_acquire);
-        if (victim_curr > next) continue;
+        if (victim_curr > next) {
+          notify_steal(t, false);
+          continue;
+        }
         ChunkT* c = s_.deques[static_cast<std::size_t>(t)]->steal();
+        notify_steal(t, c != nullptr);
         if (c != nullptr) {
-          ++my_.steals;
+          my_.inc(CId::kSteals);
           out[count++] = c;
           if (count == 64) return count;
         }
@@ -352,6 +382,16 @@ class WaspWorker {
       if (count > 0) return count;
     }
     return count;
+  }
+
+  /// Observer + trace notification for one victim probe. The call count
+  /// matches the kStealAttempts counter exactly (tests rely on it).
+  void notify_steal(int victim, bool success) {
+    if (success)
+      obs::trace_instant(s_.ctx.trace, tid_, EK::kStealSuccess,
+                         static_cast<std::uint64_t>(victim));
+    if (s_.ctx.observer != nullptr)
+      s_.ctx.observer->on_steal(tid_, victim, success);
   }
 
   /// Traditional random-victim stealing (§4.2 ablation): up to
@@ -362,10 +402,13 @@ class WaspWorker {
     for (int attempt = 0; attempt <= s_.config.steal_retries; ++attempt) {
       int t = static_cast<int>(rng_.next_below(static_cast<std::uint64_t>(p - 1)));
       if (t >= tid_) ++t;
-      ++my_.steal_attempts;
+      my_.inc(CId::kStealAttempts);
+      obs::trace_instant(s_.ctx.trace, tid_, EK::kStealAttempt,
+                         static_cast<std::uint64_t>(t));
       ChunkT* c = s_.deques[static_cast<std::size_t>(t)]->steal();
+      notify_steal(t, c != nullptr);
       if (c != nullptr) {
-        ++my_.steals;
+        my_.inc(CId::kSteals);
         out[0] = c;
         return 1;
       }
@@ -388,10 +431,13 @@ class WaspWorker {
       const std::uint64_t cb =
           s_.curr[static_cast<std::size_t>(b)].value.load(std::memory_order_acquire);
       const int t = ca <= cb ? a : b;
-      ++my_.steal_attempts;
+      my_.inc(CId::kStealAttempts);
+      obs::trace_instant(s_.ctx.trace, tid_, EK::kStealAttempt,
+                         static_cast<std::uint64_t>(t));
       ChunkT* c = s_.deques[static_cast<std::size_t>(t)]->steal();
+      notify_steal(t, c != nullptr);
       if (c != nullptr) {
-        ++my_.steals;
+        my_.inc(CId::kSteals);
         out[0] = c;
         return 1;
       }
@@ -414,14 +460,19 @@ class WaspWorker {
   bool terminate() {
     const int p = s_.tiers.num_threads();
     bool sweep = true;  // sweep on entry; afterwards only when work is seen
+    obs::trace_begin(s_.ctx.trace, tid_, EK::kTerminationScan);
     for (;;) {
       if (sweep) {
         s_.steal_epoch.fetch_add(1, std::memory_order_acq_rel);
         publish_curr(kStealingPriority);
-        if (try_steal_and_process(kInfPriority)) return false;
+        if (try_steal_and_process(kInfPriority)) {
+          obs::trace_end(s_.ctx.trace, tid_, EK::kTerminationScan, 0);
+          return false;
+        }
         publish_curr(kInfPriority);
       }
 
+      my_.inc(CId::kTerminationScans);
       Timer idle_timer;
       const std::uint64_t epoch_before =
           s_.steal_epoch.load(std::memory_order_acquire);
@@ -442,18 +493,25 @@ class WaspWorker {
         // injected doubt stops firing.
         if (WASP_CHAOS_FAIL(chaos::Point::kSpuriousWakeup)) {
           sweep = true;
-          my_.idle_ns += idle_timer.nanoseconds();
+          record_idle(idle_timer.nanoseconds());
           continue;
         }
-        my_.idle_ns += idle_timer.nanoseconds();
+        record_idle(idle_timer.nanoseconds());
+        obs::trace_end(s_.ctx.trace, tid_, EK::kTerminationScan, 1);
+        if (s_.ctx.observer != nullptr) s_.ctx.observer->on_termination(tid_);
         return true;
       }
       // Re-sweep only when a thread holds real-priority work; if only
       // thieves remain, stay idle and let the epoch settle.
       sweep = someone_working;
       std::this_thread::yield();
-      my_.idle_ns += idle_timer.nanoseconds();
+      record_idle(idle_timer.nanoseconds());
     }
+  }
+
+  void record_idle(std::uint64_t ns) {
+    my_.inc(CId::kIdleNs, ns);
+    my_.observe(obs::HistId::kIdleScanNs, ns);
   }
 
   // --- bucket advance ----------------------------------------------------
@@ -474,21 +532,21 @@ class WaspWorker {
   WaspShared<ChunkT>& s_;
   const int tid_;
   BasicChunkPool<ChunkT> pool_;
-  ThreadCounters& my_;
+  obs::MetricsShard& my_;
   Xoshiro256 rng_;
   ChaseLevDeque<ChunkT*>* deque_;
   ChunkT* buffer_ = nullptr;
   BucketList<ChunkT> buckets_;
   std::uint64_t curr_cache_ = kInfPriority;
+  std::uint64_t progress_ = 0;
 };
 
 }  // namespace
 
 template <typename ChunkT>
 SsspResult wasp_sssp_impl(const Graph& g, VertexId source, Weight delta,
-                          const WaspConfig& config, ThreadTeam& team) {
-  if (delta == 0) delta = 1;
-  const int p = team.size();
+                          const WaspConfig& config, RunContext& ctx) {
+  const int p = ctx.team.size();
 
   std::vector<std::uint8_t> leaf_bitmap;
   if (config.leaf_pruning) leaf_bitmap = compute_leaf_bitmap(g);
@@ -497,50 +555,50 @@ SsspResult wasp_sssp_impl(const Graph& g, VertexId source, Weight delta,
   if (!topo) topo = std::make_shared<NumaTopology>(NumaTopology::detect());
   std::vector<int> cpu_of(static_cast<std::size_t>(p));
   for (int t = 0; t < p; ++t)
-    cpu_of[static_cast<std::size_t>(t)] = team.cpu_of(t) % topo->num_cpus();
+    cpu_of[static_cast<std::size_t>(t)] = ctx.team.cpu_of(t) % topo->num_cpus();
 
   AtomicDistances dist(g.num_vertices());
   dist.store(source, 0);
 
-  WaspShared<ChunkT> shared(g, dist, delta, config,
+  WaspShared<ChunkT> shared(g, dist, delta, config, ctx,
                             config.leaf_pruning ? &leaf_bitmap : nullptr, p,
                             *topo, cpu_of);
   // Pre-publish worker 0 as busy at level 0 so no other worker can pass the
   // termination check before the source is seeded.
   shared.curr[0].value.store(0, std::memory_order_release);
 
+  chaos::Engine* chaos = config.chaos != nullptr ? config.chaos : ctx.chaos;
   Timer timer;
-  team.run([&](int tid) {
-    chaos::ScopedInstall chaos_guard(config.chaos, tid);
+  ctx.team.run([&](int tid) {
+    chaos::ScopedInstall chaos_guard(chaos, tid);
     WaspWorker<ChunkT> worker(shared, tid);
     if (tid == 0) worker.seed(source);
     worker.run();
   });
 
   SsspResult result;
-  result.stats.seconds = timer.seconds();
-  accumulate_counters(shared.counters, result.stats);
+  finalize_result(ctx, timer.seconds(), result);
   result.dist = dist.snapshot();
   return result;
 }
 
 SsspResult wasp_sssp(const Graph& g, VertexId source, Weight delta,
-                     const WaspConfig& config, ThreadTeam& team) {
+                     const WaspConfig& config, RunContext& ctx) {
   // The chunk capacity is a compile-time property (paper §4.3: "chosen at
   // compilation time"); dispatch to the instantiations we ship.
   switch (config.chunk_capacity) {
     case 16:
-      return wasp_sssp_impl<BasicChunk<16>>(g, source, delta, config, team);
+      return wasp_sssp_impl<BasicChunk<16>>(g, source, delta, config, ctx);
     case 32:
-      return wasp_sssp_impl<BasicChunk<32>>(g, source, delta, config, team);
+      return wasp_sssp_impl<BasicChunk<32>>(g, source, delta, config, ctx);
     case 64:
-      return wasp_sssp_impl<BasicChunk<64>>(g, source, delta, config, team);
+      return wasp_sssp_impl<BasicChunk<64>>(g, source, delta, config, ctx);
     case 128:
-      return wasp_sssp_impl<BasicChunk<128>>(g, source, delta, config, team);
+      return wasp_sssp_impl<BasicChunk<128>>(g, source, delta, config, ctx);
     case 256:
-      return wasp_sssp_impl<BasicChunk<256>>(g, source, delta, config, team);
+      return wasp_sssp_impl<BasicChunk<256>>(g, source, delta, config, ctx);
     default:
-      throw std::invalid_argument(
+      throw InvalidOptionsError(
           "wasp_sssp: chunk_capacity must be one of 16, 32, 64, 128, 256");
   }
 }

@@ -34,8 +34,11 @@
 
 namespace wasp {
 
-/// Runs Wasp with bucket width `delta` and the given configuration.
+/// Runs Wasp with bucket width `delta` and the given configuration. The
+/// chaos engine installed on workers is config.chaos, falling back to
+/// ctx.chaos. Knobs must satisfy SsspOptions::validate() (delta >= 1,
+/// chunk_capacity in {16,32,64,128,256}).
 SsspResult wasp_sssp(const Graph& g, VertexId source, Weight delta,
-                     const WaspConfig& config, ThreadTeam& team);
+                     const WaspConfig& config, RunContext& ctx);
 
 }  // namespace wasp

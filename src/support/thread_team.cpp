@@ -4,6 +4,7 @@
 #include <sched.h>
 
 #include <atomic>
+#include <chrono>
 #include <stdexcept>
 
 namespace wasp {
@@ -69,20 +70,26 @@ void ThreadTeam::worker_loop(int tid) {
 }
 
 void ThreadTeam::run(const std::function<void(int)>& fn) {
+  const auto start = std::chrono::steady_clock::now();
   if (num_threads_ == 1) {
     fn(0);
-    return;
+  } else {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      job_ = fn;
+      pending_ = num_threads_ - 1;
+      ++epoch_;
+    }
+    cv_start_.notify_all();
+    fn(0);
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_done_.wait(lock, [&] { return pending_ == 0; });
   }
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    job_ = fn;
-    pending_ = num_threads_ - 1;
-    ++epoch_;
-  }
-  cv_start_.notify_all();
-  fn(0);
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_done_.wait(lock, [&] { return pending_ == 0; });
+  ++jobs_run_;
+  job_ns_ += static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
 }
 
 void ThreadTeam::parallel_for(

@@ -48,6 +48,13 @@ class ThreadTeam {
   /// CPU id participant `tid` is (logically) placed on.
   [[nodiscard]] int cpu_of(int tid) const { return cpu_of_[static_cast<std::size_t>(tid)]; }
 
+  /// Lifetime job accounting, surfaced as gauges in MetricsSnapshot (the
+  /// kTeamJobs / kTeamJobNs gauges): how many jobs this team has executed
+  /// and the cumulative wall time spent inside run(). Written by the run()
+  /// caller only; read them outside a job.
+  [[nodiscard]] std::uint64_t jobs_run() const { return jobs_run_; }
+  [[nodiscard]] std::uint64_t job_ns() const { return job_ns_; }
+
  private:
   void worker_loop(int tid);
 
@@ -62,6 +69,9 @@ class ThreadTeam {
   std::uint64_t epoch_ = 0;    // bumped per job; workers wait for a new epoch
   int pending_ = 0;            // workers still executing the current job
   bool shutdown_ = false;
+
+  std::uint64_t jobs_run_ = 0;  // lifetime jobs executed (run() calls)
+  std::uint64_t job_ns_ = 0;    // cumulative wall ns inside run()
 };
 
 /// Convenience: one-shot parallel_for on a temporary need-not-persist team.

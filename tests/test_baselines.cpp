@@ -8,6 +8,7 @@
 
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
+#include "obs/metrics.hpp"
 #include "sssp/bellman_ford.hpp"
 #include "sssp/delta_stepping.hpp"
 #include "sssp/dijkstra.hpp"
@@ -17,6 +18,7 @@
 #include "sssp/sssp.hpp"
 #include "sssp/stepping.hpp"
 #include "sssp/validate.hpp"
+#include "support/errors.hpp"
 
 namespace wasp {
 namespace {
@@ -35,15 +37,27 @@ Ref make_ref(Graph g, std::uint64_t seed = 3) {
   return r;
 }
 
+/// Direct algorithm calls bypass the run_sssp front door, so each call
+/// brings its own team + registry (the registry is only reset by the
+/// dispatcher; reusing one across calls would accumulate counters).
+struct Ctx {
+  ThreadTeam team;
+  obs::MetricsRegistry metrics;
+  RunContext ctx;
+
+  explicit Ctx(int threads)
+      : team(threads), metrics(threads), ctx{team, metrics} {}
+};
+
 // --- Julienne: bounded window + overflow -----------------------------------
 
 TEST(Julienne, OverflowRebucketingOnDeepGraphs) {
   // Long chain with delta=1: distances reach ~250*2048 so the 32-bucket
   // window overflows thousands of times.
   const Ref ref = make_ref(gen::chain_forest(1, 2048, WeightScheme::gap(), 5));
-  ThreadTeam team(3);
+  Ctx c(3);
   const auto r = julienne_sssp(ref.graph, ref.source, /*delta=*/1,
-                               /*direction_optimize=*/false, team);
+                               /*direction_optimize=*/false, c.ctx);
   EXPECT_EQ(r.dist, ref.dist);
   // Many more rounds than buckets in one window.
   EXPECT_GT(r.stats.rounds, 32u);
@@ -51,19 +65,21 @@ TEST(Julienne, OverflowRebucketingOnDeepGraphs) {
 
 TEST(Julienne, PullRoundsFireOnStarAndStayExact) {
   const Ref ref = make_ref(gen::star_hub(4000, 0.93, 0.01, WeightScheme::gap(), 6));
-  ThreadTeam team(4);
-  const auto with_pull =
-      julienne_sssp(ref.graph, ref.source, 64, /*direction_optimize=*/true, team);
+  Ctx with(4);
+  Ctx without(4);
+  const auto with_pull = julienne_sssp(ref.graph, ref.source, 64,
+                                       /*direction_optimize=*/true, with.ctx);
   const auto without_pull =
-      julienne_sssp(ref.graph, ref.source, 64, /*direction_optimize=*/false, team);
+      julienne_sssp(ref.graph, ref.source, 64, /*direction_optimize=*/false,
+                    without.ctx);
   EXPECT_EQ(with_pull.dist, ref.dist);
   EXPECT_EQ(without_pull.dist, ref.dist);
 }
 
 TEST(Julienne, WideDeltaCollapsesToFewRounds) {
   const Ref ref = make_ref(gen::erdos_renyi(2000, 8.0, WeightScheme::gap(), 7));
-  ThreadTeam team(2);
-  const auto r = julienne_sssp(ref.graph, ref.source, 1u << 20, false, team);
+  Ctx c(2);
+  const auto r = julienne_sssp(ref.graph, ref.source, 1u << 20, false, c.ctx);
   EXPECT_EQ(r.dist, ref.dist);
   EXPECT_LE(r.stats.rounds, 16u);  // everything lands in bucket 0
 }
@@ -74,20 +90,20 @@ TEST(Stepping, SuperSparseRoundsHandleChains) {
   // A bare chain keeps the frontier at ~1 vertex: the entire run goes
   // through the sequential super-sparse path.
   const Ref ref = make_ref(gen::chain_forest(1, 500, WeightScheme::gap(), 8));
-  ThreadTeam team(4);
   for (const auto kind : {SteppingKind::kDeltaStar, SteppingKind::kRho}) {
+    Ctx c(4);
     const auto r = stepping_sssp(ref.graph, ref.source, kind, 64, 1 << 14,
-                                 true, team);
+                                 true, c.ctx);
     EXPECT_EQ(r.dist, ref.dist);
   }
 }
 
 TEST(Stepping, PullRoundsOnStarStayExact) {
   const Ref ref = make_ref(gen::star_hub(6000, 0.93, 0.01, WeightScheme::gap(), 9));
-  ThreadTeam team(4);
   for (const bool pull : {true, false}) {
+    Ctx c(4);
     const auto r = stepping_sssp(ref.graph, ref.source, SteppingKind::kDeltaStar,
-                                 32, 1 << 14, pull, team);
+                                 32, 1 << 14, pull, c.ctx);
     EXPECT_EQ(r.dist, ref.dist) << "pull=" << pull;
   }
 }
@@ -100,9 +116,9 @@ TEST(Stepping, RegressionSettledBoundIsFrontierMinNotThreshold) {
   // the frontier minimum. This configuration (undirected, dense enough to
   // trigger pulls, frontier below rho) reproduced the bug deterministically.
   const Ref ref = make_ref(gen::erdos_renyi(3000, 8.0, WeightScheme::gap(), 16));
-  ThreadTeam team(1);
+  Ctx c(1);
   const auto r = stepping_sssp(ref.graph, ref.source, SteppingKind::kRho,
-                               1, /*rho=*/1 << 14, /*pull=*/true, team);
+                               1, /*rho=*/1 << 14, /*pull=*/true, c.ctx);
   EXPECT_EQ(r.dist, ref.dist);
   // Every vertex in the source's component must be reached.
   VertexId reached = 0;
@@ -114,17 +130,17 @@ TEST(Stepping, TinyRhoStillTerminates) {
   // rho=1 processes ~one vertex per threshold round: maximal round count,
   // exercises the deferral path heavily.
   const Ref ref = make_ref(gen::erdos_renyi(500, 6.0, WeightScheme::gap(), 10));
-  ThreadTeam team(3);
-  const auto r =
-      stepping_sssp(ref.graph, ref.source, SteppingKind::kRho, 1, 1, true, team);
+  Ctx c(3);
+  const auto r = stepping_sssp(ref.graph, ref.source, SteppingKind::kRho, 1, 1,
+                               true, c.ctx);
   EXPECT_EQ(r.dist, ref.dist);
 }
 
 TEST(Stepping, HugeDeltaStarBecomesBellmanFordLike) {
   const Ref ref = make_ref(gen::grid(30, 30, WeightScheme::gap(), 11));
-  ThreadTeam team(4);
+  Ctx c(4);
   const auto r = stepping_sssp(ref.graph, ref.source, SteppingKind::kDeltaStar,
-                               kInfDist / 2, 1 << 14, false, team);
+                               kInfDist / 2, 1 << 14, false, c.ctx);
   EXPECT_EQ(r.dist, ref.dist);
 }
 
@@ -132,9 +148,12 @@ TEST(Stepping, HugeDeltaStarBecomesBellmanFordLike) {
 
 TEST(DeltaStepping, BucketFusionPreservesResultsAndCutsRounds) {
   const Ref ref = make_ref(gen::grid(60, 60, WeightScheme::gap(), 12));
-  ThreadTeam team(4);
-  const auto fused = delta_stepping(ref.graph, ref.source, 64, true, team);
-  const auto plain = delta_stepping(ref.graph, ref.source, 64, false, team);
+  Ctx fused_ctx(4);
+  Ctx plain_ctx(4);
+  const auto fused =
+      delta_stepping(ref.graph, ref.source, 64, true, fused_ctx.ctx);
+  const auto plain =
+      delta_stepping(ref.graph, ref.source, 64, false, plain_ctx.ctx);
   EXPECT_EQ(fused.dist, ref.dist);
   EXPECT_EQ(plain.dist, ref.dist);
   // Fusion's whole point: fewer synchronous steps on road-like graphs.
@@ -143,17 +162,21 @@ TEST(DeltaStepping, BucketFusionPreservesResultsAndCutsRounds) {
 
 TEST(DeltaStepping, BarrierTimeIsRecorded) {
   const Ref ref = make_ref(gen::grid(40, 40, WeightScheme::gap(), 13));
-  ThreadTeam team(4);
-  const auto r = delta_stepping(ref.graph, ref.source, 32, true, team);
+  Ctx c(4);
+  const auto r = delta_stepping(ref.graph, ref.source, 32, true, c.ctx);
   EXPECT_GT(r.stats.barrier_ns, 0u);
   EXPECT_GT(r.stats.rounds, 0u);
 }
 
-TEST(DeltaStepping, DeltaZeroIsTreatedAsOne) {
+TEST(DeltaStepping, DeltaZeroIsRejectedAtTheFrontDoor) {
+  // delta==0 used to be silently coerced to 1 inside each algorithm; the
+  // nested-options redesign rejects it once, up front, for all of them.
   const Ref ref = make_ref(gen::erdos_renyi(500, 4.0, WeightScheme::gap(), 14));
-  ThreadTeam team(2);
-  const auto r = delta_stepping(ref.graph, ref.source, 0, true, team);
-  EXPECT_EQ(r.dist, ref.dist);
+  SsspOptions options;
+  options.algo = Algorithm::kDeltaStepping;
+  options.threads = 2;
+  options.delta = 0;
+  EXPECT_THROW(run_sssp(ref.graph, ref.source, options), InvalidOptionsError);
 }
 
 // --- OBIM / Galois-style -----------------------------------------------------
@@ -163,23 +186,24 @@ TEST(Obim, TinyChunksForceGlobalBagTraffic) {
   // through the global bags.
   const Ref ref = make_ref(gen::rmat(10, 8192, 0.57, 0.19, 0.19,
                                      WeightScheme::gap(), 15, true));
-  ThreadTeam team(6);
-  const auto r = obim_sssp(ref.graph, ref.source, 8, /*chunk_size=*/2, team);
+  Ctx c(6);
+  const auto r = obim_sssp(ref.graph, ref.source, 8, /*chunk_size=*/2, c.ctx);
   EXPECT_EQ(r.dist, ref.dist);
 }
 
 TEST(Obim, HugeChunksKeepWorkLocal) {
   const Ref ref = make_ref(gen::rmat(10, 8192, 0.57, 0.19, 0.19,
                                      WeightScheme::gap(), 16, true));
-  ThreadTeam team(4);
-  const auto r = obim_sssp(ref.graph, ref.source, 8, /*chunk_size=*/4096, team);
+  Ctx c(4);
+  const auto r =
+      obim_sssp(ref.graph, ref.source, 8, /*chunk_size=*/4096, c.ctx);
   EXPECT_EQ(r.dist, ref.dist);
 }
 
 TEST(Obim, DeepPriorityLevelsOnChains) {
   const Ref ref = make_ref(gen::chain_forest(2, 400, WeightScheme::gap(), 17));
-  ThreadTeam team(3);
-  const auto r = obim_sssp(ref.graph, ref.source, 1, 128, team);
+  Ctx c(3);
+  const auto r = obim_sssp(ref.graph, ref.source, 1, 128, c.ctx);
   EXPECT_EQ(r.dist, ref.dist);
 }
 
@@ -201,10 +225,10 @@ TEST(RadiusStepping, RadiiAreKNearestDistances) {
 TEST(RadiusStepping, MatchesDijkstraAcrossK) {
   const Ref ref = make_ref(gen::erdos_renyi(2000, 8.0, WeightScheme::gap(), 22));
   for (const std::uint32_t k : {1u, 4u, 64u}) {
-    ThreadTeam team(4);
-    const auto radii = compute_radii(ref.graph, k, team);
+    Ctx c(4);
+    const auto radii = compute_radii(ref.graph, k, c.team);
     const auto r = stepping_sssp(ref.graph, ref.source, SteppingKind::kRadius,
-                                 1, 1, true, team, &radii);
+                                 1, 1, true, c.ctx, &radii);
     EXPECT_EQ(r.dist, ref.dist) << "k=" << k;
   }
 }
@@ -214,16 +238,16 @@ TEST(RadiusStepping, FrontEndDispatch) {
   SsspOptions options;
   options.algo = Algorithm::kRadiusStepping;
   options.threads = 3;
-  options.radius_k = 8;
+  options.stepping.radius_k = 8;
   EXPECT_EQ(run_sssp(ref.graph, ref.source, options).dist, ref.dist);
   EXPECT_EQ(parse_algorithm("radius"), Algorithm::kRadiusStepping);
 }
 
 TEST(RadiusStepping, RequiresRadii) {
   const Ref ref = make_ref(gen::grid(5, 5, WeightScheme::gap(), 24));
-  ThreadTeam team(1);
+  Ctx c(1);
   EXPECT_THROW(stepping_sssp(ref.graph, ref.source, SteppingKind::kRadius, 1,
-                             1, false, team, nullptr),
+                             1, false, c.ctx, nullptr),
                std::invalid_argument);
 }
 
@@ -234,9 +258,9 @@ TEST(MqDijkstra, ParameterMatrixStaysExact) {
   for (const int c : {1, 4}) {
     for (const int stickiness : {1, 16}) {
       for (const int buffer : {1, 32}) {
-        ThreadTeam team(4);
+        Ctx run(4);
         const auto r = mq_dijkstra(ref.graph, ref.source, c, stickiness, buffer,
-                                   1, team);
+                                   1, run.ctx);
         EXPECT_EQ(r.dist, ref.dist)
             << "c=" << c << " s=" << stickiness << " b=" << buffer;
       }
@@ -246,8 +270,8 @@ TEST(MqDijkstra, ParameterMatrixStaysExact) {
 
 TEST(MqDijkstra, QueueOpTimeIsRecorded) {
   const Ref ref = make_ref(gen::erdos_renyi(2000, 8.0, WeightScheme::gap(), 19));
-  ThreadTeam team(2);
-  const auto r = mq_dijkstra(ref.graph, ref.source, 2, 8, 16, 1, team);
+  Ctx c(2);
+  const auto r = mq_dijkstra(ref.graph, ref.source, 2, 8, 16, 1, c.ctx);
   EXPECT_GT(r.stats.queue_op_ns, 0u);
 }
 
@@ -257,8 +281,8 @@ TEST(BellmanFord, NegativeFreeCyclesConverge) {
   // Dense cyclic graph: many re-insertions per round.
   const Ref ref = make_ref(gen::rmat(9, 8192, 0.5, 0.2, 0.2,
                                      WeightScheme::uniform(1, 8), 20, true));
-  ThreadTeam team(4);
-  const auto r = bellman_ford(ref.graph, ref.source, team);
+  Ctx c(4);
+  const auto r = bellman_ford(ref.graph, ref.source, c.ctx);
   EXPECT_EQ(r.dist, ref.dist);
   EXPECT_GT(r.stats.rounds, 1u);
 }

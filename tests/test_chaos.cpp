@@ -15,6 +15,7 @@
 
 #include "concurrent/chase_lev_deque.hpp"
 #include "graph/algorithms.hpp"
+#include "obs/observer.hpp"
 #include "graph/generators.hpp"
 #include "sssp/dijkstra.hpp"
 #include "sssp/sssp.hpp"
@@ -296,6 +297,53 @@ TEST(ChaosReplay, SingleThreadRunsReproduceIdenticalTraces) {
     // (thousands of visits at >= 1/16 rates).
     EXPECT_FALSE(traces[0].empty());
 #endif
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Run-lifecycle invariants under fault injection: the observer contract
+// (obs/observer.hpp) must hold on chaotic schedules too — termination fires
+// exactly once per worker and steal callbacks track the attempts counter
+// even when steals are being force-failed.
+// ---------------------------------------------------------------------------
+
+TEST(ChaosObserver, LifecycleInvariantsHoldUnderInjection) {
+  class Hooks final : public obs::RunObserver {
+   public:
+    void on_steal(int, int, bool) override {
+      steals.fetch_add(1, std::memory_order_relaxed);
+    }
+    void on_termination(int) override {
+      terminations.fetch_add(1, std::memory_order_relaxed);
+    }
+    std::atomic<std::uint64_t> steals{0};
+    std::atomic<std::uint64_t> terminations{0};
+  };
+
+  const Graph g = gen::grid(24, 24, WeightScheme::gap(), 22);
+  const VertexId src = pick_source_in_largest_component(g, 22);
+  const std::vector<Distance> ref = dijkstra(g, src).dist;
+
+  constexpr int kThreads = 4;
+  ThreadTeam team(kThreads);
+  for (const std::uint64_t seed : {3ull, 99ull, 0xBEEFull}) {
+    chaos::Engine engine(seed, chaos::Policy::steal_storm(), kThreads);
+    Hooks hooks;
+    SsspOptions options;
+    options.algo = Algorithm::kWasp;
+    options.threads = kThreads;
+    options.delta = 8;
+    options.chaos = &engine;
+    options.observer = &hooks;
+    const SsspResult r = run_sssp(g, src, options, team);
+
+    std::string why;
+    ASSERT_TRUE(distances_equal(ref, r.dist, &why))
+        << chaos::failure_report(engine, "observed run diverged: " + why);
+    EXPECT_EQ(hooks.terminations.load(), static_cast<std::uint64_t>(kThreads))
+        << chaos::failure_report(engine, "termination hook count drifted");
+    EXPECT_EQ(hooks.steals.load(), r.stats.steal_attempts)
+        << chaos::failure_report(engine, "steal hook count drifted");
   }
 }
 

@@ -211,7 +211,7 @@ TEST(SmqDijkstra, GridAndStarStayCorrect) {
     SsspOptions options;
     options.algo = Algorithm::kSmqDijkstra;
     options.threads = 6;
-    options.smq_steal_batch = 4;
+    options.smq.steal_batch = 4;
     const SsspResult r = run_sssp(g, src, options);
     std::string msg;
     EXPECT_TRUE(validate_sssp(g, src, r.dist, &msg)) << kind << ": " << msg;

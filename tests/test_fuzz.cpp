@@ -65,7 +65,7 @@ TEST_P(FuzzAllAlgorithms, EveryAlgorithmMatchesDijkstra) {
     options.algo = algo;
     options.threads = threads;
     options.delta = delta;
-    options.rho = 1 + rng.next_below(1 << 12);
+    options.stepping.rho = 1 + rng.next_below(1 << 12);
     options.wasp.theta = static_cast<std::uint32_t>(1 + rng.next_below(512));
     options.seed = static_cast<std::uint64_t>(round);
     const SsspResult r = run_sssp(g, src, options);

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Schema checker for TraceRecorder's Chrome trace_event JSON export.
+
+Validates the invariants the exporter (src/obs/trace.cpp) promises, so CI
+can run one benchmark config with --trace and prove the observability
+pipeline end to end:
+
+  * the file is valid JSON with a ``traceEvents`` list;
+  * every event carries name/ph/ts/pid/tid with sane types, ph in {B,E,i},
+    and a name from the event taxonomy (src/obs/events.hpp);
+  * per tid, timestamps are monotonically non-decreasing;
+  * per tid, B/E spans are balanced and properly nested (an E always closes
+    the most recent open B of the same name, depth never goes negative,
+    and nothing is left open at the end);
+  * with --threads N, every tid lies in [0, N).
+
+Exit status: 0 = clean, 1 = violations found (each printed), 2 = unreadable
+input.
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+SPAN_NAMES = {"steal_sweep", "termination_scan", "round"}
+INSTANT_NAMES = {
+    "steal_attempt",
+    "steal_success",
+    "bucket_advance",
+    "round_transition",
+    "chunk_alloc",
+}
+KNOWN_NAMES = SPAN_NAMES | INSTANT_NAMES
+
+
+def check(events, threads):
+    """Yields human-readable violation strings."""
+    last_ts = {}
+    open_spans = defaultdict(list)
+
+    for i, ev in enumerate(events):
+        where = f"event #{i}"
+        if not isinstance(ev, dict):
+            yield f"{where}: not an object"
+            continue
+
+        name = ev.get("name")
+        ph = ev.get("ph")
+        ts = ev.get("ts")
+        tid = ev.get("tid")
+
+        if not isinstance(name, str):
+            yield f"{where}: missing/non-string name"
+            continue
+        where = f"event #{i} ({name})"
+        if name not in KNOWN_NAMES:
+            yield f"{where}: name not in the event taxonomy"
+        if ph not in ("B", "E", "i"):
+            yield f"{where}: ph must be B, E or i (got {ph!r})"
+            continue
+        if not isinstance(ts, (int, float)):
+            yield f"{where}: missing/non-numeric ts"
+            continue
+        if not isinstance(tid, int) or not isinstance(ev.get("pid"), int):
+            yield f"{where}: missing/non-integer tid or pid"
+            continue
+        if threads is not None and not 0 <= tid < threads:
+            yield f"{where}: tid {tid} outside [0, {threads})"
+
+        if tid in last_ts and ts < last_ts[tid]:
+            yield (f"{where}: ts {ts} went backwards on tid {tid} "
+                   f"(previous {last_ts[tid]})")
+        last_ts[tid] = ts
+
+        if ph == "B":
+            if name not in SPAN_NAMES:
+                yield f"{where}: instant kind used as a span begin"
+            open_spans[tid].append(name)
+        elif ph == "E":
+            stack = open_spans[tid]
+            if not stack:
+                yield f"{where}: span end with no open span on tid {tid}"
+            elif stack[-1] != name:
+                yield (f"{where}: closes '{name}' but '{stack[-1]}' is the "
+                       f"innermost open span on tid {tid}")
+                stack.pop()
+            else:
+                stack.pop()
+        elif name in SPAN_NAMES:
+            yield f"{where}: span kind recorded as an instant"
+
+    for tid, stack in sorted(open_spans.items()):
+        for name in stack:
+            yield f"tid {tid}: span '{name}' never closed"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="Chrome trace_event JSON file")
+    parser.add_argument("--threads", type=int, default=None,
+                        help="require every tid to lie in [0, THREADS)")
+    parser.add_argument("--min-events", type=int, default=1,
+                        help="fail when fewer events are present (default 1; "
+                        "use 0 for WASP_OBS=OFF smoke runs)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"trace_check: cannot read {args.trace}: {e}", file=sys.stderr)
+        return 2
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        print("trace_check: top-level 'traceEvents' list missing",
+              file=sys.stderr)
+        return 1
+
+    violations = list(check(events, args.threads))
+    if len(events) < args.min_events:
+        violations.append(
+            f"only {len(events)} events (expected >= {args.min_events}); "
+            "was the recorder attached (and WASP_OBS=ON)?")
+
+    for v in violations:
+        print(f"trace_check: {v}", file=sys.stderr)
+    if violations:
+        print(f"trace_check: {args.trace}: {len(violations)} violation(s) in "
+              f"{len(events)} events", file=sys.stderr)
+        return 1
+    print(f"trace_check: {args.trace}: OK ({len(events)} events)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
