@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
 
   const int threads = static_cast<int>(args.get_int("threads"));
   const int trials = static_cast<int>(args.get_int("trials"));
-  ThreadTeam team(threads);
+  Solver& solver = bench::make_solver(threads);
   const auto classes = bench::selected_classes(args);
 
   std::printf("Extension 1: Stealing MultiQueue vs MultiQueue vs Wasp "
@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
       o.algo = algos[i];
       o.threads = threads;
       o.delta = bench::default_delta(algos[i], cls);
-      times[i] = bench::measure(w.graph, w.source, o, trials, team).best_seconds;
+      times[i] = bench::measure(w.graph, w.source, o, trials, solver).best_seconds;
     }
     std::printf("%-7s %-12s %-12s %-12s\n", suite::abbr(cls),
                 bench::format_time_ms(times[0]).c_str(),
@@ -61,7 +61,7 @@ int main(int argc, char** argv) {
     o.threads = threads;
     o.delta = bench::default_delta(o.algo, cls);
     const double plain =
-        bench::measure(w.graph, w.source, o, trials, team).best_seconds;
+        bench::measure(w.graph, w.source, o, trials, solver).best_seconds;
 
     double best_core = 1e100;
     ContractedResult cr;

@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
   const int threads = static_cast<int>(args.get_int("threads"));
   const int trials = static_cast<int>(args.get_int("trials"));
   const double scale = args.get_double("scale");
-  ThreadTeam team(threads);
+  Solver& solver = bench::make_solver(threads);
 
   const std::vector<Scheme> schemes = {
       {"gap[1,255]", WeightScheme::gap()},
@@ -77,7 +77,7 @@ int main(int argc, char** argv) {
                                  : suite::GraphClass::kTwitter);
         // Unit weights collapse the distance range: clamp delta.
         if (si == 2 && o.delta > 8) o.delta = low_degree ? 8 : 1;
-        times[a][si] = bench::measure(g, src, o, trials, team).best_seconds;
+        times[a][si] = bench::measure(g, src, o, trials, solver).best_seconds;
       }
     }
     for (std::size_t a = 0; a < algos.size(); ++a) {

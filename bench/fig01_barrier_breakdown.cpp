@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
 
   const int threads = static_cast<int>(args.get_int("threads"));
   const int trials = static_cast<int>(args.get_int("trials"));
-  ThreadTeam team(threads);
+  Solver& solver = bench::make_solver(threads);
   bench::CsvWriter csv(args.get_string("csv"),
                        "experiment,graph,delta,seconds,rounds,barrier_pct");
 
@@ -37,10 +37,10 @@ int main(int argc, char** argv) {
     options.threads = threads;
     options.delta = args.get_flag("tune")
                         ? bench::tune_delta(w.graph, w.source, options, {},
-                                            1, team)
+                                            1, solver)
                         : bench::default_delta(options.algo, cls);
     const bench::Measurement m =
-        bench::measure(w.graph, w.source, options, trials, team);
+        bench::measure(w.graph, w.source, options, trials, solver);
 
     // Breakdown columns come from the best trial's metrics snapshot, the
     // same source the JSON/CSV exporters read.

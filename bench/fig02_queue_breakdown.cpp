@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
 
   const int threads = static_cast<int>(args.get_int("threads"));
   const int trials = static_cast<int>(args.get_int("trials"));
-  ThreadTeam team(threads);
+  Solver& solver = bench::make_solver(threads);
   bench::CsvWriter csv(args.get_string("csv"),
                        "experiment,graph,seconds,queue_op_pct,relaxations");
 
@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
     options.algo = Algorithm::kMqDijkstra;
     options.threads = threads;
     const bench::Measurement m =
-        bench::measure(w.graph, w.source, options, trials, team);
+        bench::measure(w.graph, w.source, options, trials, solver);
 
     // Breakdown columns come from the best trial's metrics snapshot.
     const std::uint64_t queue_op_ns =

@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
   args.parse(argc, argv);
 
   const int threads = static_cast<int>(args.get_int("threads"));
-  ThreadTeam team(threads);
+  Solver& solver = bench::make_solver(threads);
   const auto classes = bench::selected_classes(args);
   const std::vector<Algorithm> algos = {
       Algorithm::kDeltaStar, Algorithm::kObim, Algorithm::kDeltaStepping,
@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
         for (std::uint64_t rho = 1 << 8; rho <= 1 << 18; rho <<= 2) {
           options.stepping.rho = rho;
           const double t =
-              bench::measure(w.graph, w.source, options, 1, team).best_seconds;
+              bench::measure(w.graph, w.source, options, 1, solver).best_seconds;
           if (t < best_time) {
             best_time = t;
             best_rho = rho;
@@ -56,7 +56,7 @@ int main(int argc, char** argv) {
         table[a][c] = static_cast<Weight>(best_rho);
         continue;
       }
-      table[a][c] = bench::tune_delta(w.graph, w.source, options, {}, 1, team);
+      table[a][c] = bench::tune_delta(w.graph, w.source, options, {}, 1, solver);
     }
   }
   for (std::size_t a = 0; a < algos.size(); ++a) {

@@ -55,16 +55,17 @@ int main(int argc, char** argv) {
         algos.size(), std::vector<double>(thread_counts.size()));
     for (std::size_t a = 0; a < algos.size(); ++a) {
       for (std::size_t ti = 0; ti < thread_counts.size(); ++ti) {
-        ThreadTeam team(thread_counts[ti]);
+        Solver& solver = bench::make_solver(thread_counts[ti]);
         SsspOptions options;
         options.algo = algos[a];
         options.threads = thread_counts[ti];
         options.delta =
             args.get_flag("tune")
-                ? bench::tune_delta(w.graph, w.source, options, {}, 1, team)
+                ? bench::tune_delta(w.graph, w.source, options, {}, 1, solver)
                 : bench::default_delta(algos[a], cls);
-        times[a][ti] = bench::measure(w.graph, w.source, options, trials, team)
-                           .best_seconds;
+        times[a][ti] =
+            bench::measure(w.graph, w.source, options, trials, solver)
+                .best_seconds;
         csv.row("fig06", suite::abbr(cls), algorithm_name(algos[a]),
                 thread_counts[ti], times[a][ti]);
         if (algos[a] == Algorithm::kMqDijkstra && thread_counts[ti] == 1)

@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
 
   const int threads = static_cast<int>(args.get_int("threads"));
   const int trials = static_cast<int>(args.get_int("trials"));
-  ThreadTeam team(threads);
+  Solver& solver = bench::make_solver(threads);
   const auto classes = bench::selected_classes(args);
 
   const std::vector<Variant> variants = {
@@ -55,7 +55,7 @@ int main(int argc, char** argv) {
     base.threads = threads;
     base.delta = bench::default_delta(base.algo, cls);
     const double dstar_time =
-        bench::measure(w.graph, w.source, base, trials, team).best_seconds;
+        bench::measure(w.graph, w.source, base, trials, solver).best_seconds;
 
     bench::print_cell(suite::abbr(cls), 7);
     for (std::size_t v = 0; v < variants.size(); ++v) {
@@ -70,7 +70,7 @@ int main(int argc, char** argv) {
       // (paper uses 2^20 at billion-edge scale).
       options.wasp.theta = 1u << 12;
       const double t =
-          bench::measure(w.graph, w.source, options, trials, team).best_seconds;
+          bench::measure(w.graph, w.source, options, trials, solver).best_seconds;
       const double speedup = dstar_time / t;
       speedups[v].push_back(speedup);
       char cell[32];

@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
 
   const int threads = static_cast<int>(args.get_int("threads"));
   const int trials = static_cast<int>(args.get_int("trials"));
-  ThreadTeam team(threads);
+  Solver& solver = bench::make_solver(threads);
   const auto classes = bench::selected_classes(args);
   const std::vector<Algorithm> algos = {
       Algorithm::kDeltaStepping, Algorithm::kObim, Algorithm::kWasp};
@@ -64,7 +64,7 @@ int main(int argc, char** argv) {
         // step adds relaxations of a different nature).
         options.wasp.bidirectional_relaxation = false;
         const bench::Measurement m =
-            bench::measure(w.graph, w.source, options, trials, team);
+            bench::measure(w.graph, w.source, options, trials, solver);
         // Relaxation counts come from the best trial's metrics snapshot
         // (same totals the legacy stats view reports).
         const std::uint64_t relaxations =

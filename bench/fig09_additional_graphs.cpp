@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
 
   const int threads = static_cast<int>(args.get_int("threads"));
   const int trials = static_cast<int>(args.get_int("trials"));
-  ThreadTeam team(threads);
+  Solver& solver = bench::make_solver(threads);
   const auto classes = args.get_string("graphs").empty()
                            ? suite::appendix_suite()
                            : bench::selected_classes(args);
@@ -44,10 +44,10 @@ int main(int argc, char** argv) {
       options.threads = threads;
       options.delta =
           args.get_flag("tune")
-              ? bench::tune_delta(w.graph, w.source, options, {}, 1, team)
+              ? bench::tune_delta(w.graph, w.source, options, {}, 1, solver)
               : bench::default_delta(algos[a], classes[c]);
       times[a][c] =
-          bench::measure(w.graph, w.source, options, trials, team).best_seconds;
+          bench::measure(w.graph, w.source, options, trials, solver).best_seconds;
       csv.row("fig09", suite::abbr(classes[c]), algorithm_name(algos[a]),
               options.delta, threads, times[a][c]);
     }

@@ -7,10 +7,12 @@
 #include <functional>
 #include <future>
 #include <limits>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <thread>
 #include <unordered_set>
+#include <vector>
 
 #include "support/chaos.hpp"
 #include "support/stats.hpp"
@@ -51,9 +53,20 @@ class ProgressMonitor final : public obs::RunObserver {
   std::atomic<std::uint64_t> ticks_{0};
 };
 
+/// Solvers handed out by make_solver(). Owning them here (instead of by
+/// value in the bench binaries) is what makes watchdog abandonment safe:
+/// a poisoned solver is release()d from this list and deliberately leaked,
+/// because its abandoned runner thread still references the solver's
+/// metrics registry, distance pool, and team, and destroying those under a
+/// live thread is a use-after-free. Idle teams block on a condition
+/// variable, so keeping abandoned (and finished) solvers alive until exit
+/// costs only parked threads.
+std::vector<std::unique_ptr<Solver>> g_solvers;  // NOLINT(cert-err58-cpp)
+
 /// Teams whose runner thread was abandoned mid-run by the watchdog. Such a
 /// team still has workers executing the abandoned trial, so handing it a new
-/// run would wedge immediately; measure() fails fast on it instead.
+/// run would wedge immediately; measure() fails fast on it instead. Keyed on
+/// the solver's team (stable for the solver's lifetime).
 std::mutex g_poisoned_mu;
 std::unordered_set<const ThreadTeam*> g_poisoned;  // NOLINT(cert-err58-cpp)
 
@@ -62,14 +75,22 @@ bool team_poisoned(const ThreadTeam& team) {
   return g_poisoned.count(&team) != 0;
 }
 
-void poison_team(const ThreadTeam& team) {
-  std::lock_guard<std::mutex> lock(g_poisoned_mu);
-  g_poisoned.insert(&team);
+void poison_solver(Solver& solver) {
+  {
+    std::lock_guard<std::mutex> lock(g_poisoned_mu);
+    g_poisoned.insert(&solver.team());
+  }
+  for (auto& owned : g_solvers) {
+    if (owned.get() == &solver) {
+      (void)owned.release();  // leaked on purpose: see g_solvers above
+      break;
+    }
+  }
 }
 
 /// Runs one trial on a helper thread so the harness can give up on it.
 /// Returns true when the trial finished within `timeout_seconds` (result in
-/// `out`; exceptions from run_sssp rethrow here). A trial whose monitor
+/// `out`; exceptions from Solver::solve rethrow here). A trial whose monitor
 /// recorded observer ticks during the budget is making forward progress and
 /// earns exactly one budget extension. On expiry the watchdog disables fault
 /// injection process-wide -- the only supported livelock source -- and
@@ -77,15 +98,21 @@ void poison_team(const ThreadTeam& team) {
 /// return is abandoned (thread detached, team poisoned) and the function
 /// returns false.
 bool run_with_watchdog(const Graph& g, VertexId source,
-                       const SsspOptions& options, ThreadTeam& team,
+                       const SsspOptions& options, Solver& solver,
                        double timeout_seconds, const ProgressMonitor* monitor,
                        SsspResult& out) {
+  solver.options() = options;
   if (timeout_seconds <= 0) {
-    out = run_sssp(g, source, options, team);
+    out = solver.solve(g, source);
     return true;
   }
+  // `source` is captured by value: after abandonment the runner outlives
+  // this frame. The solver's state survives via poison_solver()'s leak; the
+  // graph is the caller's and is the one object an abandoned runner may
+  // still read after the caller drops it (benches hold workloads in loop
+  // scope). In practice the run drains quickly once injection is cut.
   std::packaged_task<SsspResult()> task(
-      [&] { return run_sssp(g, source, options, team); });
+      [&solver, &g, source] { return solver.solve(g, source); });
   std::future<SsspResult> future = task.get_future();
   std::thread runner(std::move(task));
   const auto budget = std::chrono::duration<double>(timeout_seconds);
@@ -115,7 +142,7 @@ bool run_with_watchdog(const Graph& g, VertexId source,
     out = future.get();  // counted as a trip by the caller despite recovering
   } else {
     runner.detach();
-    poison_team(team);
+    poison_solver(solver);
   }
   return false;
 }
@@ -123,9 +150,9 @@ bool run_with_watchdog(const Graph& g, VertexId source,
 }  // namespace
 
 Measurement measure(const Graph& g, VertexId source, const SsspOptions& options,
-                    int trials, ThreadTeam& team, double watchdog_seconds) {
+                    int trials, Solver& solver, double watchdog_seconds) {
   Measurement m;
-  if (team_poisoned(team)) {
+  if (team_poisoned(solver.team())) {
     m.failure = "team-poisoned";
     m.best_seconds = std::numeric_limits<double>::quiet_NaN();
     m.median_seconds = m.best_seconds;
@@ -134,14 +161,21 @@ Measurement measure(const Graph& g, VertexId source, const SsspOptions& options,
   std::vector<double> times;
   m.best_seconds = 1e100;
   SsspOptions opts = options;
-  ProgressMonitor monitor(options.observer);
-  opts.observer = &monitor;
+  // Heap-allocated so it can be leaked if a trial is abandoned: the
+  // detached runner keeps ticking the monitor through the solver's options
+  // copy after this frame is gone.
+  auto monitor = std::make_unique<ProgressMonitor>(options.observer);
+  opts.observer = monitor.get();
+  // Keep the NUMA topology the solver resolved at construction: bench
+  // configs usually carry none, and per-trial re-detection is exactly the
+  // cost the Solver front-end amortizes away.
+  if (!opts.wasp.topology) opts.wasp.topology = solver.options().wasp.topology;
   for (int t = 0; t < std::max(trials, 1); ++t) {
     SsspResult r;
-    if (!run_with_watchdog(g, source, opts, team, watchdog_seconds, &monitor,
-                           r)) {
+    if (!run_with_watchdog(g, source, opts, solver, watchdog_seconds,
+                           monitor.get(), r)) {
       ++m.watchdog_trips;
-      if (team_poisoned(team)) {
+      if (team_poisoned(solver.team())) {
         m.failure = "watchdog-timeout";
         break;
       }
@@ -166,6 +200,9 @@ Measurement measure(const Graph& g, VertexId source, const SsspOptions& options,
       m.metrics = std::move(r.metrics);
     }
   }
+  if (team_poisoned(solver.team())) {
+    (void)monitor.release();  // the abandoned runner still ticks it
+  }
   if (times.empty()) {
     if (m.failure.empty()) m.failure = "watchdog-timeout";
     m.best_seconds = std::numeric_limits<double>::quiet_NaN();
@@ -174,6 +211,13 @@ Measurement measure(const Graph& g, VertexId source, const SsspOptions& options,
   }
   m.median_seconds = median(times);
   return m;
+}
+
+Solver& make_solver(int threads) {
+  SsspOptions options;
+  options.threads = threads;
+  g_solvers.push_back(std::make_unique<Solver>(std::move(options)));
+  return *g_solvers.back();
 }
 
 std::vector<Weight> delta_candidates(const Graph& g) {
@@ -189,7 +233,7 @@ std::vector<Weight> delta_candidates(const Graph& g) {
 
 Weight tune_delta(const Graph& g, VertexId source, SsspOptions options,
                   const std::vector<Weight>& candidates, int trials,
-                  ThreadTeam& team) {
+                  Solver& solver) {
   std::vector<Weight> cands = candidates.empty() ? delta_candidates(g) : candidates;
   // Sweep from coarse to fine and stop once a candidate is far past the
   // optimum: run time grows steeply (extra rounds + barriers) as delta
@@ -201,7 +245,7 @@ Weight tune_delta(const Graph& g, VertexId source, SsspOptions options,
   double best_time = 1e100;
   for (const Weight d : cands) {
     options.delta = d;
-    const Measurement m = measure(g, source, options, trials, team);
+    const Measurement m = measure(g, source, options, trials, solver);
     if (m.best_seconds < best_time) {
       best_time = m.best_seconds;
       best_delta = d;

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "graph/suite.hpp"
+#include "sssp/solver.hpp"
 #include "sssp/sssp.hpp"
 #include "support/cli.hpp"
 #include "support/thread_team.hpp"
@@ -34,7 +35,12 @@ struct Measurement {
 /// configurations finish in seconds; only a hung/livelocked run exceeds it.
 inline constexpr double kDefaultWatchdogSeconds = 120.0;
 
-/// Runs `trials` repetitions and keeps the best (the GAP methodology).
+/// Runs `trials` repetitions through `solver` and keeps the best (the GAP
+/// methodology). Routing trials through one Solver means published numbers
+/// include the amortized front-end a repeat-query service actually runs:
+/// pooled epoch-versioned distances, one NUMA detection, one thread team.
+/// `options` is installed into the solver for the measurement (the solver's
+/// construction-time topology is kept when `options` carries none).
 ///
 /// Each trial runs under a watchdog: a trial exceeding `watchdog_seconds`
 /// is interrupted (fault injection is disabled process-wide first, which
@@ -43,8 +49,17 @@ inline constexpr double kDefaultWatchdogSeconds = 120.0;
 /// whose retry also fails carries a non-empty `failure` instead of wedging
 /// the suite; its times are NaN. Pass watchdog_seconds <= 0 to disable.
 Measurement measure(const Graph& g, VertexId source, const SsspOptions& options,
-                    int trials, ThreadTeam& team,
+                    int trials, Solver& solver,
                     double watchdog_seconds = kDefaultWatchdogSeconds);
+
+/// Builds the Solver a bench binary routes its measurements through: the
+/// worker count is fixed here; measure() installs each configuration's
+/// options into it per measurement. The harness keeps ownership (solvers
+/// live until process exit): when a watchdog trip abandons a run, the
+/// solver's detached runner thread still references its registry, distance
+/// pool, and team, so a poisoned solver is leaked rather than destroyed.
+/// Route every solver that measure() may watchdog through this factory.
+Solver& make_solver(int threads);
 
 /// Power-of-two delta candidates from 1 up to a heuristic cap derived from
 /// the graph's maximum weight and diameter proxy.
@@ -55,7 +70,7 @@ std::vector<Weight> delta_candidates(const Graph& g);
 /// artifact (the SLOW workflow).
 Weight tune_delta(const Graph& g, VertexId source, SsspOptions options,
                   const std::vector<Weight>& candidates, int trials,
-                  ThreadTeam& team);
+                  Solver& solver);
 
 /// FAST-workflow defaults: a per-algorithm, per-class delta guess encoding
 /// the paper's Figure 4 structure (Wasp takes delta=1 on skewed graphs,

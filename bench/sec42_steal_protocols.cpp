@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
 
   const int threads = static_cast<int>(args.get_int("threads"));
   const int trials = static_cast<int>(args.get_int("trials"));
-  ThreadTeam team(threads);
+  Solver& solver = bench::make_solver(threads);
   const auto classes = bench::selected_classes(args);
 
   const std::vector<Protocol> protocols = {
@@ -62,7 +62,7 @@ int main(int argc, char** argv) {
       options.wasp.steal_policy = protocols[p].policy;
       options.wasp.steal_retries = protocols[p].retries;
       const bench::Measurement m =
-          bench::measure(w.graph, w.source, options, trials, team);
+          bench::measure(w.graph, w.source, options, trials, solver);
       times[p].push_back(m.best_seconds);
       work[p].push_back(static_cast<double>(m.stats.relaxations));
       bench::print_cell(bench::format_time_ms(m.best_seconds), 12);

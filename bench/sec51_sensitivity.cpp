@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
 
   const int threads = static_cast<int>(args.get_int("threads"));
   const int trials = static_cast<int>(args.get_int("trials"));
-  ThreadTeam team(threads);
+  Solver& solver = bench::make_solver(threads);
   const auto classes = bench::selected_classes(args);
 
   // --- chunk-size sweeps ----------------------------------------------------
@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
       o.delta = bench::default_delta(o.algo, cls);
       o.obim.chunk_size = size;
       const double tg =
-          bench::measure(w.graph, w.source, o, trials, team).best_seconds;
+          bench::measure(w.graph, w.source, o, trials, solver).best_seconds;
       if (tg < galois_min) { galois_min = tg; galois_best = size; }
       galois_max = std::max(galois_max, tg);
 
@@ -54,7 +54,7 @@ int main(int argc, char** argv) {
       o.delta = bench::default_delta(o.algo, cls);
       o.wasp.chunk_capacity = size;
       const double tw =
-          bench::measure(w.graph, w.source, o, trials, team).best_seconds;
+          bench::measure(w.graph, w.source, o, trials, solver).best_seconds;
       if (tw < wasp_min) { wasp_min = tw; wasp_best = size; }
       wasp_max = std::max(wasp_max, tw);
     }
@@ -80,13 +80,13 @@ int main(int argc, char** argv) {
     o.algo = Algorithm::kWasp;
     o.threads = threads;
     const Weight best_delta =
-        bench::tune_delta(w.graph, w.source, o, {}, trials, team);
+        bench::tune_delta(w.graph, w.source, o, {}, trials, solver);
     o.delta = best_delta;
     const double t_best =
-        bench::measure(w.graph, w.source, o, trials, team).best_seconds;
+        bench::measure(w.graph, w.source, o, trials, solver).best_seconds;
     o.delta = 1;
     const double t_one =
-        bench::measure(w.graph, w.source, o, trials, team).best_seconds;
+        bench::measure(w.graph, w.source, o, trials, solver).best_seconds;
     losses.push_back(t_one / t_best);
     std::printf("%-7s %-10u %-12s %-12s %+.0f%%\n", suite::abbr(cls), best_delta,
                 bench::format_time_ms(t_best).c_str(),

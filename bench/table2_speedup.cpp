@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
 
   const int threads = static_cast<int>(args.get_int("threads"));
   const int trials = static_cast<int>(args.get_int("trials"));
-  ThreadTeam team(threads);
+  Solver& solver = bench::make_solver(threads);
   const auto classes = bench::selected_classes(args);
   const auto algos = bench::figure5_algorithms();  // wasp last
   bench::CsvWriter csv(args.get_string("csv"),
@@ -44,10 +44,10 @@ int main(int argc, char** argv) {
       if (!trace_path.empty()) options.trace = &trace;
       options.delta =
           args.get_flag("tune")
-              ? bench::tune_delta(w.graph, w.source, options, {}, 1, team)
+              ? bench::tune_delta(w.graph, w.source, options, {}, 1, solver)
               : bench::default_delta(algos[a], classes[c]);
       const bench::Measurement m =
-          bench::measure(w.graph, w.source, options, trials, team,
+          bench::measure(w.graph, w.source, options, trials, solver,
                          args.get_double("watchdog-sec"));
       times[a][c] = m.best_seconds;
       // Hung runs become structured "watchdog-timeout" rows with NaN times

@@ -35,15 +35,17 @@ int main(int argc, char** argv) {
       options.algo = algo;
       options.delta = bench::default_delta(algo, cls);
 
-      ThreadTeam team1(1);
+      Solver& solver1 = bench::make_solver(1);
       options.threads = 1;
       const double t1 =
-          bench::measure(w.graph, w.source, options, trials, team1).best_seconds;
+          bench::measure(w.graph, w.source, options, trials, solver1)
+              .best_seconds;
 
-      ThreadTeam teamN(threads);
+      Solver& solverN = bench::make_solver(threads);
       options.threads = threads;
       const double tN =
-          bench::measure(w.graph, w.source, options, trials, teamN).best_seconds;
+          bench::measure(w.graph, w.source, options, trials, solverN)
+              .best_seconds;
 
       char cell[32];
       std::snprintf(cell, sizeof(cell), "%.2f", t1 / tN);

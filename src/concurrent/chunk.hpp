@@ -70,6 +70,16 @@ class BasicChunk {
     return slots_[tail_ % kCapacity];
   }
 
+  /// Returns the vertex `depth` entries below the LIFO top without removing
+  /// it (depth 0 is what the next pop() returns) — the drain loops peek past
+  /// the current vertex to prefetch upcoming distance entries and adjacency
+  /// offsets. Precondition: depth < size().
+  [[nodiscard]] VertexId peek(std::uint32_t depth) const {
+    assert(depth < size());
+    WASP_VERIFY_RD(this);
+    return slots_[(tail_ - 1 - depth) % kCapacity];
+  }
+
   /// Removes and returns the oldest vertex (FIFO end of the ring).
   VertexId pop_front() {
     assert(!empty());

@@ -97,7 +97,7 @@ Graph transpose(const Graph& g) {
   for (VertexId u = 0; u < n; ++u)
     for (const WEdge& e : g.out_neighbors(u)) ++offsets[e.dst + 1];
   for (VertexId v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
-  std::vector<WEdge> adjacency(g.num_edges());
+  AdjacencyVector adjacency(g.num_edges());
   std::vector<EdgeIndex> cursor(offsets.begin(), offsets.end() - 1);
   for (VertexId u = 0; u < n; ++u)
     for (const WEdge& e : g.out_neighbors(u))

@@ -39,7 +39,7 @@ Graph CompressedGraph::decompress() const {
   const VertexId n = num_vertices();
   std::vector<EdgeIndex> offsets(static_cast<std::size_t>(n) + 1, 0);
   for (VertexId v = 0; v < n; ++v) offsets[v + 1] = offsets[v] + degrees_[v];
-  std::vector<WEdge> adjacency(num_edges_);
+  AdjacencyVector adjacency(num_edges_);
   for (VertexId v = 0; v < n; ++v) {
     EdgeIndex cursor = offsets[v];
     for_each_out(v, [&](VertexId dst, Weight w) {

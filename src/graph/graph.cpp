@@ -24,7 +24,7 @@ Graph Graph::from_edges(VertexId num_vertices, const std::vector<Edge>& edges,
   for (std::size_t v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
 
   // Pass 2: scatter into the adjacency array.
-  std::vector<WEdge> adjacency(offsets[n]);
+  AdjacencyVector adjacency(offsets[n]);
   std::vector<EdgeIndex> cursor(offsets.begin(), offsets.end() - 1);
   for (const Edge& e : edges) {
     if (e.src == e.dst) continue;
@@ -45,7 +45,7 @@ Graph Graph::from_edges(VertexId num_vertices, const std::vector<Edge>& edges,
   return from_csr(std::move(offsets), std::move(adjacency), undirected);
 }
 
-Graph Graph::from_csr(std::vector<EdgeIndex> offsets, std::vector<WEdge> adjacency,
+Graph Graph::from_csr(std::vector<EdgeIndex> offsets, AdjacencyVector adjacency,
                       bool undirected) {
   if (offsets.empty() || offsets.front() != 0 || offsets.back() != adjacency.size())
     throw InvalidGraphError("Graph::from_csr: malformed offsets");

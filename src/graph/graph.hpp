@@ -9,12 +9,42 @@
 #pragma once
 
 #include <cassert>
+#include <new>
 #include <span>
 #include <vector>
 
 #include "support/types.hpp"
 
 namespace wasp {
+
+/// Minimal cache-line-aligned allocator for the CSR adjacency storage. The
+/// relaxation loops stream through adjacency blocks and prefetch a fixed
+/// number of records ahead (see support/prefetch.hpp); starting the array on
+/// a line boundary makes "8 interleaved WEdge records per 64-byte line"
+/// exact, so a block prefetch never straddles an extra line.
+template <typename T>
+struct CacheAlignedAllocator {
+  using value_type = T;
+  static_assert(kCacheLineSize >= alignof(T));
+
+  CacheAlignedAllocator() = default;
+  template <typename U>
+  constexpr CacheAlignedAllocator(const CacheAlignedAllocator<U>&) noexcept {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{kCacheLineSize}));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t{kCacheLineSize});
+  }
+
+  template <typename U>
+  friend constexpr bool operator==(const CacheAlignedAllocator&,
+                                   const CacheAlignedAllocator<U>&) noexcept {
+    return true;
+  }
+};
 
 /// A directed edge with an explicit source, used by builders and generators.
 struct Edge {
@@ -25,7 +55,10 @@ struct Edge {
   friend bool operator==(const Edge&, const Edge&) = default;
 };
 
-/// Destination + weight pair as stored in the CSR adjacency array.
+/// Destination + weight pair as stored in the CSR adjacency array. The
+/// interleaved record is the unit of the memory-traffic contract: relaxing
+/// an edge reads target and weight from the same (half) cache line, where
+/// parallel targets[]/weights[] arrays would cost two lines per edge.
 struct WEdge {
   VertexId dst;
   Weight w;
@@ -33,6 +66,11 @@ struct WEdge {
   friend bool operator==(const WEdge&, const WEdge&) = default;
 };
 static_assert(sizeof(WEdge) == 8, "WEdge must stay two packed 32-bit words");
+
+/// The CSR adjacency container: interleaved {dst, w} records, cache-line
+/// aligned. Builders (generators, I/O, decompression, transpose) produce one
+/// of these and hand it to Graph::from_csr.
+using AdjacencyVector = std::vector<WEdge, CacheAlignedAllocator<WEdge>>;
 
 /// Immutable CSR graph.
 class Graph {
@@ -48,7 +86,7 @@ class Graph {
                           bool undirected);
 
   /// Builds directly from CSR arrays (used by I/O and transpose).
-  static Graph from_csr(std::vector<EdgeIndex> offsets, std::vector<WEdge> adjacency,
+  static Graph from_csr(std::vector<EdgeIndex> offsets, AdjacencyVector adjacency,
                         bool undirected);
 
   [[nodiscard]] VertexId num_vertices() const {
@@ -85,7 +123,19 @@ class Graph {
 
   /// Raw CSR arrays, for serialization.
   [[nodiscard]] const std::vector<EdgeIndex>& offsets() const { return offsets_; }
-  [[nodiscard]] const std::vector<WEdge>& adjacency() const { return adjacency_; }
+  [[nodiscard]] const AdjacencyVector& adjacency() const { return adjacency_; }
+
+  /// Typed access to the interleaved edge records for loops that index the
+  /// adjacency directly (the prefetched relaxation pipelines):
+  /// edge_data()[edge_offset(u) + j] is u's j-th outgoing edge.
+  [[nodiscard]] const WEdge* edge_data() const { return adjacency_.data(); }
+  [[nodiscard]] EdgeIndex edge_offset(VertexId u) const {
+    assert(u < num_vertices());
+    return offsets_[u];
+  }
+  /// Raw offsets pointer; prefetching offsets_data() + v warms the degree
+  /// lookup of a vertex about to be drained from a chunk.
+  [[nodiscard]] const EdgeIndex* offsets_data() const { return offsets_.data(); }
 
   /// Largest edge weight in the graph (0 for an edgeless graph). Useful for
   /// choosing delta sweeps.
@@ -93,7 +143,7 @@ class Graph {
 
  private:
   std::vector<EdgeIndex> offsets_;  // size n+1
-  std::vector<WEdge> adjacency_;    // size num_edges()
+  AdjacencyVector adjacency_;       // size num_edges()
   bool undirected_ = false;
 };
 

@@ -252,7 +252,7 @@ Graph read_binary(std::istream& in) {
     parse_error(os.str());
   }
   std::vector<EdgeIndex> offsets(n + 1);
-  std::vector<WEdge> adjacency(m);
+  AdjacencyVector adjacency(m);
   const std::uint64_t offsets_bytes = offsets.size() * sizeof(EdgeIndex);
   read_exact(in, reinterpret_cast<char*>(offsets.data()), offsets_bytes, 28,
              "offset array");
@@ -321,7 +321,7 @@ Graph read_gap_wsg(std::istream& in) {
     parse_error(os.str());
   }
   std::vector<EdgeIndex> offsets(static_cast<std::size_t>(n) + 1);
-  std::vector<WEdge> adjacency(static_cast<std::size_t>(m));
+  AdjacencyVector adjacency(static_cast<std::size_t>(m));
   const std::uint64_t offsets_bytes = offsets.size() * sizeof(EdgeIndex);
   read_exact(in, reinterpret_cast<char*>(offsets.data()), offsets_bytes, 17,
              "wsg offset array");

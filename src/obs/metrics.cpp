@@ -21,6 +21,8 @@ const char* counter_name(CounterId id) {
     case CounterId::kQueueOpNs: return "queue_op_ns";
     case CounterId::kStealNs: return "steal_ns";
     case CounterId::kIdleNs: return "idle_ns";
+    case CounterId::kEpochSweeps: return "epoch_sweeps";
+    case CounterId::kPrefetchIssued: return "prefetch_issued";
   }
   return "?";
 }

@@ -40,8 +40,10 @@ enum class CounterId : std::uint8_t {
   kQueueOpNs,          ///< total locked MultiQueue operation time
   kStealNs,            ///< total time inside victim sweeps
   kIdleNs,             ///< total idle/termination-scan time
+  kEpochSweeps,        ///< O(V) distance-array initializations this run
+  kPrefetchIssued,     ///< software prefetches issued in relaxation loops
 };
-inline constexpr std::size_t kNumCounters = 14;
+inline constexpr std::size_t kNumCounters = 16;
 
 enum class GaugeId : std::uint8_t {
   kMaxFrontier,  ///< largest synchronous-round frontier seen

@@ -82,6 +82,11 @@ void SsspOptions::validate() const {
   if (mq.buffer < 1) fail("mq.buffer must be >= 1");
   if (smq.steal_batch < 0) fail("smq.steal_batch must be >= 0");
   if (obim.chunk_size == 0) fail("obim.chunk_size must be >= 1");
+  if (prefetch_lookahead > 256) {
+    // Past a few dozen entries the prefetches evict each other before use;
+    // a huge value is a typo, not a tuning choice.
+    fail("prefetch_lookahead must be <= 256 (0 disables)");
+  }
 }
 
 SsspStats stats_from_snapshot(const obs::MetricsSnapshot& snap) {

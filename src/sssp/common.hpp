@@ -5,7 +5,6 @@
 // the option/result types of the unified front-end in sssp.hpp.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -19,28 +18,42 @@
 #include "support/chaos.hpp"
 #include "support/numa.hpp"
 #include "support/types.hpp"
+#include "verify/checked_atomic.hpp"
 
 namespace wasp {
 
 class ThreadTeam;
 
-/// Tentative-distance array with atomic CAS updates.
+/// Tentative-distance array with atomic CAS updates, epoch-versioned so a
+/// pooled array re-initializes in O(1) between solves instead of O(V).
+///
+/// Each entry packs {epoch tag : high 32, distance : low 32} into one
+/// 64-bit atomic word. An entry whose tag differs from the array's current
+/// epoch is logically kInfDist — so new_epoch() invalidates every entry
+/// without touching memory. The tag is 32 bits wide; when it wraps (once
+/// per 2^32 solves) a full O(V) sweep re-stamps the array, because entries
+/// stale since tag-space-ago would otherwise read as live again.
+///
+/// The epoch is mutated only between parallel phases (by the dispatching
+/// thread, ordered against workers by ThreadTeam fork/join), so workers
+/// read a stable plain value and all same-run CAS traffic carries one tag:
+/// the packed compare-exchange is exactly the old 32-bit distance CAS with
+/// a constant prefix.
 class AtomicDistances {
  public:
   explicit AtomicDistances(std::size_t n)
-      : n_(n), dist_(std::make_unique<std::atomic<Distance>[]>(n)) {
-    for (std::size_t i = 0; i < n; ++i)
-      dist_[i].store(kInfDist, std::memory_order_relaxed);
+      : n_(n), dist_(std::make_unique<verify::atomic<std::uint64_t>[]>(n)) {
+    sweep();
   }
 
   [[nodiscard]] std::size_t size() const { return n_; }
 
   [[nodiscard]] Distance load(VertexId v) const {
-    return dist_[v].load(std::memory_order_relaxed);
+    return decode(dist_[v].load(std::memory_order_relaxed));
   }
 
   void store(VertexId v, Distance d) {
-    dist_[v].store(d, std::memory_order_relaxed);
+    dist_[v].store(pack(d), std::memory_order_relaxed);
   }
 
   /// The relax() primitive of Algorithm 1 (lines 1-8): lowers dist[v] to
@@ -50,12 +63,13 @@ class AtomicDistances {
   /// visibility of the new distance.
   /// Candidates must come from saturating_add (see types.hpp): kInfDist can
   /// never win the strict-decrease test, so wrapped sums cannot corrupt the
-  /// array.
+  /// array. A stale-epoch entry decodes to kInfDist and the CAS compares
+  /// the full packed word, so overwriting it is exactly the inf-entry case.
   bool relax_to(VertexId v, Distance candidate) {
-    Distance old = dist_[v].load(std::memory_order_relaxed);
-    while (candidate < old) {
+    std::uint64_t old = dist_[v].load(std::memory_order_relaxed);
+    while (candidate < decode(old)) {
       WASP_CHAOS_YIELD(chaos::Point::kYieldBeforeCas);
-      if (dist_[v].compare_exchange_weak(old, candidate,
+      if (dist_[v].compare_exchange_weak(old, pack(candidate),
                                          std::memory_order_release,
                                          std::memory_order_relaxed)) {
         return true;
@@ -70,13 +84,80 @@ class AtomicDistances {
   [[nodiscard]] std::vector<Distance> snapshot() const {
     std::vector<Distance> out(n_);
     for (std::size_t i = 0; i < n_; ++i)
-      out[i] = dist_[i].load(std::memory_order_relaxed);
+      out[i] = decode(dist_[i].load(std::memory_order_relaxed));
     return out;
   }
 
+  /// O(1) logical reset of every entry to kInfDist. Call between parallel
+  /// phases only. Returns true when the tag wrapped and an O(V) sweep ran.
+  bool new_epoch() {
+    ++epoch_;
+    if (epoch_ != 0) return false;
+    sweep();
+    return true;
+  }
+
+  [[nodiscard]] std::uint32_t epoch() const { return epoch_; }
+
+  /// Test hook: jumps the tag (e.g. to 0xFFFFFFFF to force a wrap on the
+  /// next new_epoch) and re-stamps the array as all-kInfDist under it.
+  void debug_set_epoch(std::uint32_t e) {
+    epoch_ = e;
+    sweep();
+  }
+
+  /// Address of v's packed entry, for software prefetch ahead of load()/
+  /// relax_to() (prefetch.hpp).
+  [[nodiscard]] const void* prefetch_addr(VertexId v) const {
+    return &dist_[v];
+  }
+
  private:
+  [[nodiscard]] std::uint64_t pack(Distance d) const {
+    return (static_cast<std::uint64_t>(epoch_) << 32) | d;
+  }
+  [[nodiscard]] Distance decode(std::uint64_t word) const {
+    return (word >> 32) == epoch_ ? static_cast<Distance>(word) : kInfDist;
+  }
+  void sweep() {
+    for (std::size_t i = 0; i < n_; ++i)
+      dist_[i].store(pack(kInfDist), std::memory_order_relaxed);
+  }
+
   std::size_t n_;
-  std::unique_ptr<std::atomic<Distance>[]> dist_;
+  std::uint32_t epoch_ = 0;
+  std::unique_ptr<verify::atomic<std::uint64_t>[]> dist_;
+};
+
+/// Reusable tentative-distance storage for repeat queries. Not thread-safe:
+/// acquire() runs between parallel phases (the front-end calls it before
+/// handing workers the array). Solver owns one so repeated solve() calls
+/// skip the O(V) fill; the plain run_sssp overloads use a per-call pool.
+class DistancePool {
+ public:
+  /// Returns an array of `n` logically-kInfDist entries. The fast path is
+  /// an O(1) epoch bump; first use, a size change, and a tag wrap each cost
+  /// one O(n) initialization, counted in sweeps().
+  AtomicDistances& acquire(std::size_t n) {
+    if (dist_ == nullptr || dist_->size() != n) {
+      dist_ = std::make_unique<AtomicDistances>(n);
+      ++sweeps_;
+    } else if (dist_->new_epoch()) {
+      ++sweeps_;
+    }
+    return *dist_;
+  }
+
+  /// O(n) initializations performed so far (the epoch_sweeps counter reports
+  /// the per-run delta).
+  [[nodiscard]] std::uint64_t sweeps() const { return sweeps_; }
+
+  /// The held array, null before the first acquire (test/debug access).
+  [[nodiscard]] AtomicDistances* current() { return dist_.get(); }
+
+ private:
+  std::unique_ptr<AtomicDistances> dist_;
+  std::uint64_t sweeps_ = 0;
 };
 
 /// Which algorithm the front-end dispatches to.
@@ -182,6 +263,14 @@ struct SsspOptions {
 
   std::uint64_t seed = 0x5EEDULL;
 
+  /// Software-prefetch lookahead, in edges, for the relaxation loops of
+  /// Wasp, delta-stepping, and the MultiQueue/SMQ solvers: while relaxing
+  /// edge j the worker prefetches the distance entry of edge j+k's target
+  /// (and, in chunk drains, the next vertex's adjacency offsets). 0
+  /// disables. Purely a performance knob — results are bit-identical at any
+  /// setting. See docs/PERFORMANCE.md for tuning.
+  std::uint32_t prefetch_lookahead = 4;
+
   /// Fault-injection engine threaded to the workers of chaos-aware
   /// algorithms (Wasp, SMQ-Dijkstra, delta-stepping). Null = no injection.
   chaos::Engine* chaos = nullptr;
@@ -237,6 +326,32 @@ struct RunContext {
   obs::TraceRecorder* trace = nullptr;
   obs::RunObserver* observer = nullptr;
   chaos::Engine* chaos = nullptr;
+  /// Pool the front-end acquires ctx.dist from (null = per-call pool;
+  /// Solver points this at its owned pool to amortize the O(V) fill).
+  DistancePool* pool = nullptr;
+  /// This run's tentative-distance array, acquired (all-kInfDist) by
+  /// dispatch_sssp; the parallel algorithms use it instead of allocating.
+  AtomicDistances* dist = nullptr;
+  /// options.prefetch_lookahead, copied here by dispatch_sssp.
+  std::uint32_t prefetch_lookahead = 0;
+
+  /// The run's distance array: what dispatch_sssp acquired, or — for direct
+  /// algorithm calls that bypass the front door (tests, microbenches) — `n`
+  /// logically-kInfDist entries acquired here from a context-owned pool.
+  [[nodiscard]] AtomicDistances& distances(std::size_t n) {
+    if (dist == nullptr || dist->size() != n) {
+      if (pool == nullptr) {
+        if (!owned_pool) owned_pool = std::make_unique<DistancePool>();
+        pool = owned_pool.get();
+      }
+      dist = &pool->acquire(n);
+    }
+    return *dist;
+  }
+
+  /// Fallback pool for the direct-call path of distances(); the front door
+  /// never touches it.
+  std::unique_ptr<DistancePool> owned_pool = nullptr;
 };
 
 /// Shared run epilogue: records the team gauges and the elapsed time into

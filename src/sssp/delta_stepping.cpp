@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "support/padded.hpp"
+#include "support/prefetch.hpp"
 #include "support/spin_barrier.hpp"
 #include "support/thread_team.hpp"
 #include "support/timer.hpp"
@@ -46,8 +47,9 @@ constexpr std::size_t kFusionLimit = 1u << 12;
 SsspResult delta_stepping(const Graph& g, VertexId source, Weight delta,
                           bool bucket_fusion, RunContext& ctx) {
   const int p = ctx.team.size();
-  AtomicDistances dist(g.num_vertices());
+  AtomicDistances& dist = ctx.distances(g.num_vertices());
   dist.store(source, 0);
+  const std::uint32_t lookahead = ctx.prefetch_lookahead;
 
   std::vector<CachePadded<LocalBins>> bins(static_cast<std::size_t>(p));
   std::vector<CachePadded<std::uint64_t>> local_min(static_cast<std::size_t>(p));
@@ -78,7 +80,14 @@ SsspResult delta_stepping(const Graph& g, VertexId source, Weight delta,
         return;
       }
       my.inc(CId::kVerticesProcessed);
-      for (const WEdge& e : g.out_neighbors(u)) {
+      // Indexed drain so edge j can prefetch the dist entry of edge
+      // j + lookahead's target (the only data-dependent miss here).
+      const WEdge* edges = g.edge_data() + g.edge_offset(u);
+      const std::uint32_t deg = g.out_degree(u);
+      for (std::uint32_t j = 0; j < deg; ++j) {
+        if (lookahead != 0 && j + lookahead < deg)
+          prefetch_read(dist.prefetch_addr(edges[j + lookahead].dst));
+        const WEdge& e = edges[j];
         my.inc(CId::kRelaxations);
         const Distance nd = saturating_add(du, e.w);
         if (dist.relax_to(e.dst, nd)) {
@@ -86,6 +95,8 @@ SsspResult delta_stepping(const Graph& g, VertexId source, Weight delta,
           my_bins.at(nd / delta).push_back(e.dst);
         }
       }
+      if (lookahead != 0 && deg > lookahead)
+        my.inc(CId::kPrefetchIssued, deg - lookahead);
     };
 
     while (!done) {
@@ -105,7 +116,19 @@ SsspResult delta_stepping(const Graph& g, VertexId source, Weight delta,
                !my_bins.bins[curr_bin].empty() &&
                my_bins.bins[curr_bin].size() <= kFusionLimit) {
           fused.swap(my_bins.bins[curr_bin]);
-          for (const VertexId u : fused) process_vertex(u);
+          // The fused drain knows its whole work list up front: warm the
+          // distance entry and adjacency offsets of the vertex `lookahead`
+          // slots ahead while processing this one.
+          for (std::size_t i = 0; i < fused.size(); ++i) {
+            if (lookahead != 0 && i + lookahead < fused.size()) {
+              const VertexId ahead = fused[i + lookahead];
+              prefetch_read(dist.prefetch_addr(ahead));
+              prefetch_read(g.offsets_data() + ahead);
+            }
+            process_vertex(fused[i]);
+          }
+          if (lookahead != 0 && fused.size() > lookahead)
+            my.inc(CId::kPrefetchIssued, 2 * (fused.size() - lookahead));
           fused.clear();
         }
       }

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "concurrent/multiqueue.hpp"
+#include "support/prefetch.hpp"
 #include "support/thread_team.hpp"
 #include "support/timer.hpp"
 
@@ -13,7 +14,7 @@ SsspResult mq_dijkstra(const Graph& g, VertexId source, int c, int stickiness,
                        int buffer_size, std::uint64_t seed, RunContext& ctx) {
   using CId = obs::CounterId;
   const int p = ctx.team.size();
-  AtomicDistances dist(g.num_vertices());
+  AtomicDistances& dist = ctx.distances(g.num_vertices());
   dist.store(source, 0);
 
   MultiQueue::Config config;
@@ -29,6 +30,8 @@ SsspResult mq_dijkstra(const Graph& g, VertexId source, int c, int stickiness,
   // Threads currently holding popped work; termination needs the queue empty
   // AND nobody mid-processing (a processor may push more work).
   std::atomic<int> busy{0};
+
+  const std::uint32_t lookahead = ctx.prefetch_lookahead;
 
   Timer timer;
   ctx.team.run([&](int tid) {
@@ -50,7 +53,14 @@ SsspResult mq_dijkstra(const Graph& g, VertexId source, int c, int stickiness,
           ++progress;
           if (ctx.observer != nullptr && (progress & 0xFFFu) == 0)
             ctx.observer->on_progress(tid, progress);
-          for (const WEdge& e : g.out_neighbors(u)) {
+          // Indexed drain so edge j can prefetch the dist entry of edge
+          // j + lookahead's target (the only data-dependent miss here).
+          const WEdge* edges = g.edge_data() + g.edge_offset(u);
+          const std::uint32_t deg = g.out_degree(u);
+          for (std::uint32_t j = 0; j < deg; ++j) {
+            if (lookahead != 0 && j + lookahead < deg)
+              prefetch_read(dist.prefetch_addr(edges[j + lookahead].dst));
+            const WEdge& e = edges[j];
             my.inc(CId::kRelaxations);
             const Distance nd = saturating_add(d, e.w);
             if (dist.relax_to(e.dst, nd)) {
@@ -58,6 +68,8 @@ SsspResult mq_dijkstra(const Graph& g, VertexId source, int c, int stickiness,
               mq.push(tid, nd, e.dst);
             }
           }
+          if (lookahead != 0 && deg > lookahead)
+            my.inc(CId::kPrefetchIssued, deg - lookahead);
         }
         mq.flush(tid);
         busy.fetch_sub(1, std::memory_order_acq_rel);

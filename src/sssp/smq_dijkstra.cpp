@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "concurrent/stealing_multiqueue.hpp"
+#include "support/prefetch.hpp"
 #include "support/thread_team.hpp"
 #include "support/timer.hpp"
 
@@ -13,7 +14,7 @@ SsspResult smq_dijkstra(const Graph& g, VertexId source, int steal_batch,
                         std::uint64_t seed, RunContext& ctx) {
   using CId = obs::CounterId;
   const int p = ctx.team.size();
-  AtomicDistances dist(g.num_vertices());
+  AtomicDistances& dist = ctx.distances(g.num_vertices());
   dist.store(source, 0);
 
   StealingMultiQueue::Config config;
@@ -24,6 +25,7 @@ SsspResult smq_dijkstra(const Graph& g, VertexId source, int steal_batch,
   smq.push(0, 0, source);
 
   std::atomic<int> busy{0};
+  const std::uint32_t lookahead = ctx.prefetch_lookahead;
 
   Timer timer;
   ctx.team.run([&](int tid) {
@@ -44,7 +46,14 @@ SsspResult smq_dijkstra(const Graph& g, VertexId source, int steal_batch,
           ++progress;
           if (ctx.observer != nullptr && (progress & 0xFFFu) == 0)
             ctx.observer->on_progress(tid, progress);
-          for (const WEdge& e : g.out_neighbors(u)) {
+          // Indexed drain so edge j can prefetch the dist entry of edge
+          // j + lookahead's target (the only data-dependent miss here).
+          const WEdge* edges = g.edge_data() + g.edge_offset(u);
+          const std::uint32_t deg = g.out_degree(u);
+          for (std::uint32_t j = 0; j < deg; ++j) {
+            if (lookahead != 0 && j + lookahead < deg)
+              prefetch_read(dist.prefetch_addr(edges[j + lookahead].dst));
+            const WEdge& e = edges[j];
             my.inc(CId::kRelaxations);
             const Distance nd = saturating_add(d, e.w);
             if (dist.relax_to(e.dst, nd)) {
@@ -52,6 +61,8 @@ SsspResult smq_dijkstra(const Graph& g, VertexId source, int steal_batch,
               smq.push(tid, nd, e.dst);
             }
           }
+          if (lookahead != 0 && deg > lookahead)
+            my.inc(CId::kPrefetchIssued, deg - lookahead);
         }
         busy.fetch_sub(1, std::memory_order_acq_rel);
         continue;

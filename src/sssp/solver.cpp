@@ -18,8 +18,8 @@ SsspOptions validated(SsspOptions options) {
 
 Solver::Solver(SsspOptions options)
     : options_(validated(std::move(options))),
-      team_(options_.threads),
-      metrics_(options_.threads) {
+      metrics_(options_.threads),
+      team_(options_.threads) {
   if (!options_.wasp.topology) {
     options_.wasp.topology =
         std::make_shared<const NumaTopology>(NumaTopology::detect());
@@ -31,6 +31,7 @@ SsspResult Solver::solve(const Graph& g, VertexId source) {
                  trace_ ? trace_.get() : options_.trace,
                  observer_ != nullptr ? observer_ : options_.observer,
                  options_.chaos};
+  ctx.pool = &pool_;
   SsspResult result = detail::dispatch_sssp(g, source, options_, ctx);
   last_metrics_ = result.metrics;
   return result;

@@ -59,6 +59,10 @@ class Solver {
 
   [[nodiscard]] ThreadTeam& team() { return team_; }
   [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
+  /// The owned epoch-versioned distance pool every solve() draws from; a
+  /// repeat query on the same graph pays an O(1) epoch bump instead of the
+  /// O(V) infinity fill (the epoch_sweeps counter reports which happened).
+  [[nodiscard]] DistancePool& distances() { return pool_; }
   /// Snapshot taken by the most recent solve() (empty before the first).
   [[nodiscard]] const obs::MetricsSnapshot& last_metrics() const {
     return last_metrics_;
@@ -77,11 +81,15 @@ class Solver {
 
  private:
   SsspOptions options_;
-  ThreadTeam team_;
   obs::MetricsRegistry metrics_;
+  DistancePool pool_;
   std::unique_ptr<obs::TraceRecorder> trace_;
   obs::RunObserver* observer_ = nullptr;
   obs::MetricsSnapshot last_metrics_;
+  // Declared last so it is destroyed first: the destructor joins the
+  // workers, so no worker can still be touching the registry, pool, or
+  // recorder above when they are freed.
+  ThreadTeam team_;
 };
 
 }  // namespace wasp

@@ -62,6 +62,18 @@ SsspResult dispatch_sssp(const Graph& g, VertexId source,
   options.validate();
   check_inputs(g, source, options);
   ctx.metrics.reset();
+  if (options.algo == Algorithm::kDijkstra) {
+    // The sequential reference keeps its own plain distance vector; don't
+    // charge it a pooled-array acquisition.
+    return dijkstra(g, source);
+  }
+  DistancePool local_pool;
+  DistancePool& pool = ctx.pool != nullptr ? *ctx.pool : local_pool;
+  const std::uint64_t sweeps_before = pool.sweeps();
+  ctx.dist = &pool.acquire(g.num_vertices());
+  ctx.prefetch_lookahead = options.prefetch_lookahead;
+  ctx.metrics.shard(0).inc(obs::CounterId::kEpochSweeps,
+                           pool.sweeps() - sweeps_before);
   switch (options.algo) {
     case Algorithm::kDijkstra:
       return dijkstra(g, source);

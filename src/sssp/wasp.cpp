@@ -1,6 +1,8 @@
 #include "sssp/wasp.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <bit>
 #include <stdexcept>
 #include <thread>
 
@@ -9,6 +11,7 @@
 #include "graph/algorithms.hpp"
 #include "support/errors.hpp"
 #include "support/padded.hpp"
+#include "support/prefetch.hpp"
 #include "support/random.hpp"
 #include "support/thread_team.hpp"
 #include "support/timer.hpp"
@@ -38,8 +41,11 @@ struct BucketList {
 
   ChunkT*& at(std::uint64_t level) {
     if (level >= head.size()) {
-      std::size_t cap = head.empty() ? 64 : head.size();
-      while (cap <= level) cap *= 2;
+      // Grow geometrically from the *requested* level, not by doubling the
+      // current size: a weight outlier landing in a sparse high bucket
+      // resizes straight to bit_ceil(level+1) instead of walking there.
+      const std::size_t cap = std::max<std::size_t>(
+          64, std::bit_ceil(static_cast<std::size_t>(level) + 1));
       head.resize(cap, nullptr);
     }
     return head[level];
@@ -99,7 +105,8 @@ class WaspWorker {
       : s_(shared), tid_(tid), pool_(shared.arena),
         my_(shared.ctx.metrics.shard(tid)),
         rng_(hash_mix(0xA5B5ULL + static_cast<std::uint64_t>(tid))),
-        deque_(shared.deques[static_cast<std::size_t>(tid)].get()) {
+        deque_(shared.deques[static_cast<std::size_t>(tid)].get()),
+        lookahead_(shared.ctx.prefetch_lookahead) {
     buffer_ = alloc_chunk();
   }
 
@@ -174,6 +181,16 @@ class WaspWorker {
       begin = 0;
       end = kFullRange;
       u = buffer_->pop();
+      // Chunk-drain lookahead: the LIFO order of the remaining entries is
+      // already decided, so warm the distance entry and adjacency offsets
+      // of the vertex we will drain `lookahead_` pops from now.
+      if (lookahead_ != 0 && !buffer_->empty()) {
+        const VertexId ahead =
+            buffer_->peek(std::min(lookahead_ - 1, buffer_->size() - 1));
+        prefetch_read(s_.dist.prefetch_addr(ahead));
+        prefetch_read(s_.graph.offsets_data() + ahead);
+        my_.inc(CId::kPrefetchIssued, 2);
+      }
     }
     return true;
   }
@@ -282,7 +299,13 @@ class WaspWorker {
     ++progress_;
     if (s_.ctx.observer != nullptr && (progress_ & 0xFFFu) == 0)
       s_.ctx.observer->on_progress(tid_, progress_);
-    for (const WEdge& e : g.out_neighbors(u, begin, end)) {
+    // Indexed drain over the interleaved records so edge j can prefetch the
+    // dist entry of edge j + lookahead's target (the data-dependent miss).
+    const WEdge* edges = s_.graph.edge_data() + g.edge_offset(u);
+    for (std::uint32_t j = begin; j < end; ++j) {
+      if (lookahead_ != 0 && j + lookahead_ < end)
+        prefetch_read(s_.dist.prefetch_addr(edges[j + lookahead_].dst));
+      const WEdge& e = edges[j];
       my_.inc(CId::kRelaxations);
       const Distance nd = saturating_add(du, e.w);
       if (s_.dist.relax_to(e.dst, nd)) {
@@ -293,6 +316,8 @@ class WaspWorker {
         push_to_buckets(e.dst, static_cast<std::uint64_t>(nd) / s_.delta);
       }
     }
+    if (lookahead_ != 0 && end - begin > lookahead_)
+      my_.inc(CId::kPrefetchIssued, end - begin - lookahead_);
   }
 
   // --- work stealing (Algorithm 2 + §4.2 ablation policies) --------------
@@ -539,6 +564,7 @@ class WaspWorker {
   BucketList<ChunkT> buckets_;
   std::uint64_t curr_cache_ = kInfPriority;
   std::uint64_t progress_ = 0;
+  const std::uint32_t lookahead_;  ///< SsspOptions::prefetch_lookahead
 };
 
 }  // namespace
@@ -557,7 +583,7 @@ SsspResult wasp_sssp_impl(const Graph& g, VertexId source, Weight delta,
   for (int t = 0; t < p; ++t)
     cpu_of[static_cast<std::size_t>(t)] = ctx.team.cpu_of(t) % topo->num_cpus();
 
-  AtomicDistances dist(g.num_vertices());
+  AtomicDistances& dist = ctx.distances(g.num_vertices());
   dist.store(source, 0);
 
   WaspShared<ChunkT> shared(g, dist, delta, config, ctx,

@@ -1,0 +1,26 @@
+// Software-prefetch shim for the relaxation hot loops.
+//
+// SSSP on large graphs is memory-bound: the paper's profile (and the
+// stepping-algorithms literature) attributes most wall-clock to cache misses
+// on dist[] — the access pattern is data-dependent (edge targets), so the
+// hardware prefetcher cannot help. The drain loops in Wasp, delta-stepping,
+// and the MultiQueue/SMQ solvers know their next k targets well before
+// relaxing them, and issue prefetches that far ahead
+// (SsspOptions::prefetch_lookahead; 0 disables, results are identical either
+// way).
+#pragma once
+
+namespace wasp {
+
+/// Hints the read of the cache line containing `p` into all cache levels.
+/// A no-op on compilers without __builtin_prefetch; never faults, so callers
+/// may pass addresses they will not actually dereference.
+inline void prefetch_read(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
+#else
+  (void)p;
+#endif
+}
+
+}  // namespace wasp

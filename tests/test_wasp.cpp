@@ -212,6 +212,29 @@ TEST(WaspStress, ChainGraphDeepBuckets) {
   expect_correct(f, options, "chain delta=1");
 }
 
+TEST(WaspStress, LargeWeightOutlierGrowsBucketsGeometrically) {
+  // One edge orders of magnitude heavier than the rest: with delta=1 its
+  // relaxation lands in a sparse level ~200k buckets above everything else,
+  // exercising BucketList::at's grow-straight-to-bit_ceil(level+1) path (a
+  // doubling-from-current-size loop re-copies the list once per step).
+  Graph g = gen::grid(40, 40, WeightScheme::uniform(1, 16), 31);
+  std::vector<Edge> edges;
+  for (VertexId u = 0; u < g.num_vertices(); ++u)
+    for (const WEdge& e : g.out_neighbors(u)) edges.push_back({u, e.dst, e.w});
+  // Attach an outlier vertex reachable only over the heavy edge.
+  const VertexId outlier = g.num_vertices();
+  edges.push_back({0, outlier, 200'000});
+  edges.push_back({outlier, 0, 200'000});
+  const Fixture f =
+      make_fixture(Graph::from_edges(outlier + 1, edges, /*undirected=*/false));
+
+  SsspOptions options;
+  options.algo = Algorithm::kWasp;
+  options.threads = 4;
+  options.delta = 1;
+  expect_correct(f, options, "weight outlier delta=1");
+}
+
 // --- instrumentation -------------------------------------------------------
 
 TEST(WaspStats, StealsHappenWithManyThreads) {

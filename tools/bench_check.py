@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Validates a BENCH_tput.json report written by bench/tput_queries.
+
+Checks (stdlib only, exit 1 on the first violation):
+  * the top-level schema: schema_version == 1, bench == "tput_queries",
+    threads/queries positive, a non-empty results list;
+  * every row carries the full key set with sane values: qps > 0, positive
+    latencies, queries > 0;
+  * steady-state latency does not exceed first-solve latency by more than
+    the tolerance (the pooled front-end must never make repeat queries
+    slower), and optionally beats it by --min-gain (e.g. 1.25 asserts
+    steady-state at least 25% below first-solve);
+  * at least one epoch sweep was recorded per row (the first acquire).
+
+Usage:
+  python3 tools/bench_check.py BENCH_tput.json
+  python3 tools/bench_check.py BENCH_tput.json --min-gain 1.3334 --graph USA
+"""
+
+import argparse
+import json
+import sys
+
+ROW_KEYS = {
+    "graph", "algo", "queries", "first_ms", "steady_ms", "qps",
+    "epoch_sweeps", "prefetch_issued",
+}
+TOP_KEYS = {
+    "schema_version", "bench", "threads", "queries", "scale",
+    "distinct_sources", "results",
+}
+
+
+def fail(msg):
+    print(f"bench_check: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_report(report, min_gain, graph_filter, tolerance):
+    missing = TOP_KEYS - report.keys()
+    if missing:
+        fail(f"missing top-level keys: {sorted(missing)}")
+    if report["schema_version"] != 1:
+        fail(f"unsupported schema_version {report['schema_version']}")
+    if report["bench"] != "tput_queries":
+        fail(f"unexpected bench name {report['bench']!r}")
+    if report["threads"] < 1 or report["queries"] < 2:
+        fail("threads must be >= 1 and queries >= 2")
+    rows = report["results"]
+    if not rows:
+        fail("empty results list")
+
+    checked = 0
+    for row in rows:
+        missing = ROW_KEYS - row.keys()
+        if missing:
+            fail(f"row {row.get('graph', '?')}: missing keys {sorted(missing)}")
+        name = f"{row['graph']}/{row['algo']}"
+        if graph_filter and row["graph"] not in graph_filter:
+            continue
+        checked += 1
+        if row["queries"] <= 0:
+            fail(f"{name}: queries must be positive")
+        if row["first_ms"] <= 0 or row["steady_ms"] <= 0:
+            fail(f"{name}: latencies must be positive")
+        if row["qps"] <= 0:
+            fail(f"{name}: qps must be positive, got {row['qps']}")
+        if row["epoch_sweeps"] < 1:
+            fail(f"{name}: expected at least one epoch sweep (first acquire)")
+        if row["steady_ms"] > row["first_ms"] * tolerance:
+            fail(f"{name}: steady-state {row['steady_ms']:.3f}ms exceeds "
+                 f"first-solve {row['first_ms']:.3f}ms "
+                 f"(tolerance {tolerance:.2f}x) — the pooled front-end made "
+                 "repeat queries slower")
+        gain = row["first_ms"] / row["steady_ms"]
+        if gain < min_gain:
+            fail(f"{name}: first/steady gain {gain:.2f}x below required "
+                 f"{min_gain:.2f}x")
+        print(f"bench_check: ok {name}: first {row['first_ms']:.3f}ms, "
+              f"steady {row['steady_ms']:.3f}ms ({gain:.2f}x), "
+              f"{row['qps']:.0f} qps")
+    if checked == 0:
+        fail(f"no rows matched graph filter {sorted(graph_filter)}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="path to BENCH_tput.json")
+    parser.add_argument("--min-gain", type=float, default=1.0,
+                        help="required first/steady latency ratio on checked "
+                             "rows (default 1.0: steady must not be slower)")
+    parser.add_argument("--graph", action="append", default=[],
+                        help="only apply value checks to this graph "
+                             "abbreviation (repeatable; default: all rows)")
+    parser.add_argument("--tolerance", type=float, default=1.0,
+                        help="slack factor for the steady <= first check "
+                             "when --min-gain is 1.0 (default 1.0)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.report, encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot read {args.report}: {e}")
+
+    check_report(report, args.min_gain, set(args.graph), args.tolerance)
+    print("bench_check: PASS")
+
+
+if __name__ == "__main__":
+    main()

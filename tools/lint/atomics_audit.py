@@ -46,6 +46,7 @@ LINT_SCOPE = [
     "src/concurrent/multiqueue.cpp",
     "src/concurrent/spinlock.hpp",
     "src/concurrent/stealing_multiqueue.hpp",
+    "src/sssp/common.hpp",
     "src/sssp/wasp.cpp",
 ]
 
@@ -68,6 +69,7 @@ ABBREV = {
     "dary_heap.hpp": "DH",
     "frontier_bag.hpp": "FB",
     "wasp.cpp": "WASP",
+    "common.hpp": "DIST",
 }
 
 WAIVER_FILE = REPO / "tools" / "lint" / "mutant_waivers.txt"
