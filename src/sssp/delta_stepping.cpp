@@ -8,6 +8,7 @@
 #include "support/spin_barrier.hpp"
 #include "support/thread_team.hpp"
 #include "support/timer.hpp"
+#include "verify/scheduler.hpp"
 
 namespace wasp {
 
@@ -65,6 +66,7 @@ SsspResult delta_stepping(const Graph& g, VertexId source, Weight delta,
 
   Timer timer;
   ctx.team.run([&](int tid) {
+    verify::ScopedSchedule schedule_guard(tid);
     chaos::ScopedInstall chaos_guard(ctx.chaos, tid);
     auto& my_bins = bins[static_cast<std::size_t>(tid)].value;
     obs::MetricsShard& my = ctx.metrics.shard(tid);

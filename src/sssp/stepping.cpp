@@ -12,6 +12,7 @@
 #include "support/spin_barrier.hpp"
 #include "support/thread_team.hpp"
 #include "support/timer.hpp"
+#include "verify/scheduler.hpp"
 
 namespace wasp {
 
@@ -97,6 +98,7 @@ SsspResult stepping_sssp(const Graph& g, VertexId source, SteppingKind kind,
 
   Timer timer;
   ctx.team.run([&](int tid) {
+    verify::ScopedSchedule schedule_guard(tid);
     obs::MetricsShard& my = ctx.metrics.shard(tid);
 
     const auto relax_out = [&](VertexId u, Distance du) {

@@ -16,6 +16,7 @@
 #include "support/thread_team.hpp"
 #include "support/timer.hpp"
 #include "verify/checked_atomic.hpp"
+#include "verify/scheduler.hpp"
 
 namespace wasp {
 
@@ -596,6 +597,7 @@ SsspResult wasp_sssp_impl(const Graph& g, VertexId source, Weight delta,
   chaos::Engine* chaos = config.chaos != nullptr ? config.chaos : ctx.chaos;
   Timer timer;
   ctx.team.run([&](int tid) {
+    verify::ScopedSchedule schedule_guard(tid);
     chaos::ScopedInstall chaos_guard(chaos, tid);
     WaspWorker<ChunkT> worker(shared, tid);
     if (tid == 0) worker.seed(source);

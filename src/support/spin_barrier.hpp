@@ -15,6 +15,7 @@
 
 #include "support/padded.hpp"
 #include "support/timer.hpp"
+#include "verify/checked_atomic.hpp"
 
 namespace wasp {
 
@@ -66,8 +67,12 @@ class SpinBarrier {
   static constexpr int kSpinsBeforeYield = 64;
 
   const int num_threads_;
-  std::atomic<int> arrived_{0};
-  std::atomic<bool> sense_{false};
+  // Checked atomics: the happens-before model (and the scheduler harness)
+  // must see the barrier's phase edges, or a model-run delta-stepping round
+  // would report every cross-phase access as racy. Zero-cost when
+  // WASP_VERIFY=OFF.
+  verify::atomic<int> arrived_{0};
+  verify::atomic<bool> sense_{false};
   std::vector<CachePadded<std::uint64_t>> wait_ns_;
 };
 

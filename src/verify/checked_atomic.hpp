@@ -18,7 +18,12 @@
 //    sequences, so an acquire load reading a relaxed fetch_add still
 //    synchronizes with the release store heading the sequence;
 //  * seq_cst operations additionally synchronize through the session's SC
-//    clock (a sound strengthening of C11's S order).
+//    clock (a sound strengthening of C11's S order), and the model tracks
+//    the total order S explicitly: seq_cst stores are stamped with their
+//    S-position, seq_cst loads may not read past the newest S-store, and a
+//    load after a seq_cst fence may not read past the newest S-store that
+//    precedes the fence in S. This makes seq_cst -> acq_rel weakenings on
+//    store/RMW sites observable as value-level staleness (CLD-12/CLD-19).
 //
 // Every model store writes through to the underlying std::atomic, so
 // unbound threads (and code running after the session ends) always see the
@@ -78,11 +83,12 @@ class atomic {
     int tid;
     Session* s = Session::bound(tid);
     if (s == nullptr) return impl_.load(order);
+    schedule_point(tid);
     std::lock_guard<std::mutex> guard(s->mu());
     Model& m = model(s);
     auto& st = s->thread_state(tid);
     if (order == std::memory_order_seq_cst) st.clock.join(s->sc_clock());
-    const std::size_t idx = admissible_pick(s, m, st, tid);
+    const std::size_t idx = admissible_pick(s, m, st, tid, order);
     const Store& chosen = m.hist[idx];
     m.last_read[static_cast<std::size_t>(tid)] = m.base + idx;
     s->bump_epoch(tid);
@@ -105,11 +111,13 @@ class atomic {
       impl_.store(v, order);
       return;
     }
+    schedule_point(tid);
     std::lock_guard<std::mutex> guard(s->mu());
     Model& m = model(s);
     auto& st = s->thread_state(tid);
     if (order == std::memory_order_seq_cst) st.clock.join(s->sc_clock());
-    append_store(s, m, st, tid, v, is_release(order), /*rmw=*/false);
+    append_store(s, m, st, tid, v, is_release(order), /*rmw=*/false,
+                 /*sc=*/order == std::memory_order_seq_cst);
     if (order == std::memory_order_seq_cst) s->sc_clock().join(st.clock);
     (void)loc;
   }
@@ -127,6 +135,7 @@ class atomic {
     Session* s = Session::bound(tid);
     if (s == nullptr)
       return impl_.compare_exchange_strong(expected, desired, success, failure);
+    schedule_point(tid);
     std::lock_guard<std::mutex> guard(s->mu());
     Model& m = model(s);
     auto& st = s->thread_state(tid);
@@ -142,7 +151,8 @@ class atomic {
     }
     if (success == std::memory_order_seq_cst) st.clock.join(s->sc_clock());
     sync_read(s, m, st, tid, m.hist.size() - 1, success);
-    append_store(s, m, st, tid, desired, is_release(success), /*rmw=*/true);
+    append_store(s, m, st, tid, desired, is_release(success), /*rmw=*/true,
+                 /*sc=*/success == std::memory_order_seq_cst);
     if (success == std::memory_order_seq_cst) s->sc_clock().join(st.clock);
     (void)loc;
     return true;
@@ -179,6 +189,7 @@ class atomic {
     bool has_rel = false;
     int tid = 0;
     std::uint32_t epoch = 0;  ///< writer's event counter at store time
+    std::uint64_t sc_time = 0;  ///< position in S; 0 = not a seq_cst store
   };
 
   struct Model {
@@ -214,11 +225,22 @@ class atomic {
   }
 
   /// Picks an admissible store index for a load by `tid`: one at least as
-  /// new as (a) the newest store the thread's clock knows, and (b) anything
-  /// it read from this object before (coherence).
+  /// new as (a) the newest store the thread's clock knows, (b) anything it
+  /// read from this object before (coherence), and (c) the SC-order floor.
+  ///
+  /// The SC floor implements the [atomics.order] value rules over the
+  /// model's total order S (the execution order of seq_cst operations
+  /// under the session lock — a valid choice of S, so restricting reads by
+  /// it never invents behavior). Each store has an S "publication time":
+  /// its own slot if it is a seq_cst store, else the slot of the writer's
+  /// earliest later seq_cst fence (sc_publish_time), else unpublished. A
+  /// load may not read past the newest store published before the reader's
+  /// horizon: the position of its last seq_cst fence, or all of S so far
+  /// for a seq_cst load. Stores trimmed out of the history window only
+  /// ever tighten these floors, so losing them is sound.
   std::size_t admissible_pick(Session* s, Model& m,
-                              typename Session::ThreadState& st,
-                              int tid) const {
+                              typename Session::ThreadState& st, int tid,
+                              std::memory_order order) const {
     const std::size_t n = m.hist.size();
     std::uint64_t lo_abs = m.last_read[static_cast<std::size_t>(tid)];
     for (std::size_t i = n; i-- > 0;) {
@@ -226,6 +248,21 @@ class atomic {
       if (st.clock.knows(sto.tid, sto.epoch) || sto.epoch == 0) {
         lo_abs = std::max(lo_abs, m.base + i);
         break;
+      }
+    }
+    const std::uint64_t horizon = order == std::memory_order_seq_cst
+                                      ? ~std::uint64_t{0}
+                                      : st.sc_fence_time;
+    if (horizon != 0) {
+      for (std::size_t i = n; i-- > 0;) {
+        const Store& sto = m.hist[i];
+        std::uint64_t published = sto.sc_time;
+        if (published == 0 && sto.epoch != 0)
+          published = s->sc_publish_time(sto.tid, sto.epoch);
+        if (published != 0 && published < horizon) {
+          lo_abs = std::max(lo_abs, m.base + i);
+          break;
+        }
       }
     }
     const std::size_t lo = lo_abs > m.base
@@ -254,11 +291,13 @@ class atomic {
 
   /// Appends a store with the correct release-clock payload and trims the
   /// history window. RMW stores continue the predecessor's release
-  /// sequence. Writes through to the underlying atomic.
+  /// sequence. Seq_cst stores take a slot in S so SC-order floors apply.
+  /// Writes through to the underlying atomic.
   void append_store(Session* s, Model& m, typename Session::ThreadState& st,
-                    int tid, T v, bool release, bool rmw) {
+                    int tid, T v, bool release, bool rmw, bool sc) {
     const std::uint32_t epoch = s->bump_epoch(tid);
     Store sto{v, VectorClock{}, false, tid, epoch};
+    if (sc) sto.sc_time = s->next_sc_time();
     if (release) {
       sto.rel = st.clock;
       sto.has_rel = true;
@@ -294,13 +333,15 @@ class atomic {
       }
       return {old, true};
     }
+    schedule_point(tid);
     std::lock_guard<std::mutex> guard(s->mu());
     Model& m = model(s);
     auto& st = s->thread_state(tid);
     if (order == std::memory_order_seq_cst) st.clock.join(s->sc_clock());
     const T old = m.hist.back().value;  // RMWs read latest (C11 atomicity)
     sync_read(s, m, st, tid, m.hist.size() - 1, order);
-    append_store(s, m, st, tid, f(old), is_release(order), /*rmw=*/true);
+    append_store(s, m, st, tid, f(old), is_release(order), /*rmw=*/true,
+                 /*sc=*/order == std::memory_order_seq_cst);
     if (order == std::memory_order_seq_cst) s->sc_clock().join(st.clock);
     (void)loc;
     return {old, true};
@@ -316,6 +357,7 @@ inline void thread_fence(
     std::source_location loc = std::source_location::current()) {
   int tid;
   if (Session* s = Session::bound(tid)) {
+    schedule_point(tid);
     s->fence(tid, order);
     (void)loc;
     return;

@@ -4,7 +4,13 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "verify/scheduler.hpp"
+
 namespace wasp::verify {
+
+void scheduler_yield(int tid) {
+  if (Scheduler* sched = Scheduler::current()) sched->yield(tid);
+}
 
 std::string site_str(const Site& s) {
   const char* base = s.file;
@@ -63,7 +69,16 @@ void Session::fence(int tid, std::memory_order order) {
     st.pending_release = st.clock;
     st.has_pending_release = true;
   }
-  if (order == std::memory_order_seq_cst) sc_clock_.join(st.clock);
+  if (order == std::memory_order_seq_cst) {
+    sc_clock_.join(st.clock);
+    // The fence takes a slot in S. Loads sequenced after it must not read
+    // values older than stores ordered before it in S (seq_cst stores
+    // directly; plain stores via the writer's own later seq_cst fence —
+    // the fence_log records which of this thread's stores this fence
+    // publishes).
+    st.sc_fence_time = next_sc_time();
+    st.fence_log.emplace_back(st.sc_fence_time, st.clock.of(tid));
+  }
 }
 
 void Session::on_plain_read(int tid, const void* addr, Site site) {

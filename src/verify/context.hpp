@@ -28,12 +28,14 @@
 // unchanged outside a session.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <source_location>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "support/random.hpp"
@@ -92,6 +94,12 @@ class Session {
     VectorClock pending_release;   ///< armed by a release fence
     bool has_pending_release = false;
     VectorClock pending_acquire;   ///< accumulated by relaxed loads
+    std::uint64_t sc_fence_time = 0;  ///< S-position of the last seq_cst fence
+    /// Every seq_cst fence this thread executed: (S-position, the thread's
+    /// own event counter at the fence). Monotone in both components; lets
+    /// sc_publish_time() answer "when did this thread's store at epoch e
+    /// become published by one of its later seq_cst fences".
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> fence_log;
     Xoshiro256 rng{1};
   };
 
@@ -99,6 +107,29 @@ class Session {
     return threads_[static_cast<std::size_t>(tid)];
   }
   VectorClock& sc_clock() { return sc_clock_; }
+
+  /// Advances the SC total order S and returns the new position. Every
+  /// seq_cst store/RMW/fence occupies one slot; stores stamp it on their
+  /// history entry, fences record it per thread, and loads use the two as
+  /// value floors (see checked_atomic.hpp admissible_pick). Call with mu_
+  /// held.
+  std::uint64_t next_sc_time() { return ++sc_seq_; }
+
+  /// S-position at which a store by thread `tid` at event `epoch` was
+  /// published by that thread's earliest *later* seq_cst fence, or 0 if no
+  /// such fence exists (yet). Implements the [atomics.order] fence-fence
+  /// rule: a store sequenced before a seq_cst fence X must be visible to
+  /// any load sequenced after a seq_cst fence (or seq_cst load) later than
+  /// X in S. Call with mu_ held.
+  [[nodiscard]] std::uint64_t sc_publish_time(int tid,
+                                              std::uint32_t epoch) const {
+    const auto& log = threads_[static_cast<std::size_t>(tid)].fence_log;
+    const auto it = std::lower_bound(
+        log.begin(), log.end(), epoch,
+        [](const std::pair<std::uint64_t, std::uint32_t>& e,
+           std::uint32_t ep) { return e.second < ep; });
+    return it == log.end() ? 0 : it->first;
+  }
 
   /// Advances thread `tid`'s event counter; returns the new epoch.
   std::uint32_t bump_epoch(int tid) {
@@ -143,6 +174,7 @@ class Session {
   mutable std::mutex mu_;
   std::vector<ThreadState> threads_;
   VectorClock sc_clock_;
+  std::uint64_t sc_seq_ = 0;  ///< length of the SC total order S so far
   std::unordered_map<const void*, PlainVar> plain_;
   std::vector<std::string> diagnostics_;
   std::size_t dropped_diagnostics_ = 0;
@@ -174,7 +206,24 @@ struct Binding {
 inline constinit thread_local Binding tls_binding{};
 inline constinit std::atomic<Session*> g_session{nullptr};
 inline constinit std::atomic<std::uint64_t> g_generation{0};
+// The installed Scheduler (scheduler.hpp), type-erased so this header does
+// not depend on it. Instrumented operations peek at it via schedule_point.
+inline constinit std::atomic<void*> g_scheduler{nullptr};
 }  // namespace detail
+
+/// Out-of-line hop into scheduler.hpp (defined in context.cpp): hands the
+/// execution token to the installed Scheduler's yield().
+void scheduler_yield(int tid);
+
+/// Preemption point. Every instrumented operation of a bound thread calls
+/// this before touching the model, so an installed Scheduler (see
+/// scheduler.hpp) can deterministically interleave threads at exactly the
+/// events the memory model sees. Without a scheduler this is one relaxed
+/// load.
+inline void schedule_point(int tid) {
+  if (detail::g_scheduler.load(std::memory_order_acquire) != nullptr)
+    scheduler_yield(tid);
+}
 
 inline Session* Session::current() {
   return detail::g_session.load(std::memory_order_acquire);
@@ -194,14 +243,20 @@ inline void plain_read(
     const void* addr,
     std::source_location loc = std::source_location::current()) {
   int tid;
-  if (Session* s = Session::bound(tid)) s->on_plain_read(tid, addr, site_of(loc));
+  if (Session* s = Session::bound(tid)) {
+    schedule_point(tid);
+    s->on_plain_read(tid, addr, site_of(loc));
+  }
 }
 
 inline void plain_write(
     const void* addr,
     std::source_location loc = std::source_location::current()) {
   int tid;
-  if (Session* s = Session::bound(tid)) s->on_plain_write(tid, addr, site_of(loc));
+  if (Session* s = Session::bound(tid)) {
+    schedule_point(tid);
+    s->on_plain_write(tid, addr, site_of(loc));
+  }
 }
 
 }  // namespace wasp::verify

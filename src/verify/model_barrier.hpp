@@ -1,0 +1,46 @@
+// Sense-reversing barrier built from checked atomics, for harness code that
+// phases work under the happens-before model. A pthread barrier (or raw
+// std::atomic spin) would order the *real* execution but leave no edge in
+// the model, so cross-phase plain accesses would be reported as races even
+// when the protocol is correct. Built on verify::atomic, every arrival and
+// phase flip is a model event — and, when a Scheduler is installed, a
+// schedule point.
+//
+// This is harness vocabulary (tests, in-situ delta-stepping rounds), not a
+// production barrier: production code uses SpinBarrier, which carries the
+// same instrumentation via its own verify::atomic fields.
+#pragma once
+
+#include <atomic>
+#include <thread>
+
+#include "verify/checked_atomic.hpp"
+
+namespace wasp::verify {
+
+class ModelBarrier {
+ public:
+  explicit ModelBarrier(int n) : n_(n) {}
+
+  ModelBarrier(const ModelBarrier&) = delete;
+  ModelBarrier& operator=(const ModelBarrier&) = delete;
+
+  void wait() {
+    const int ph = phase_.load(std::memory_order_acquire);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) == n_ - 1) {
+      arrived_.store(0, std::memory_order_relaxed);
+      phase_.store(ph + 1, std::memory_order_release);
+    } else {
+      while (phase_.load(std::memory_order_acquire) == ph) {
+        std::this_thread::yield();
+      }
+    }
+  }
+
+ private:
+  const int n_;
+  verify::atomic<int> arrived_{0};
+  verify::atomic<int> phase_{0};
+};
+
+}  // namespace wasp::verify

@@ -75,6 +75,59 @@ TEST(Chunk, RangeMode) {
   EXPECT_TRUE(c.empty());
 }
 
+TEST(Chunk, PeekReadsLifoOrderWithoutRemoving) {
+  Chunk c;
+  c.push(10);
+  c.push(20);
+  c.push(30);
+  // depth 0 is what the next pop() returns; deeper entries follow LIFO.
+  EXPECT_EQ(c.peek(0), 30u);
+  EXPECT_EQ(c.peek(1), 20u);
+  EXPECT_EQ(c.peek(2), 10u);
+  EXPECT_EQ(c.size(), 3u) << "peek must not consume";
+  EXPECT_EQ(c.pop(), 30u);
+  EXPECT_EQ(c.peek(0), 20u);
+}
+
+TEST(Chunk, PeekTracksRingWraparound) {
+  // Drive head/tail around the ring (the drain loops peek on chunks that
+  // have been partially consumed from the front), then check every depth
+  // against the equivalent pop() sequence.
+  BasicChunk<4> c;
+  for (VertexId v = 0; v < 4; ++v) c.push(v);
+  EXPECT_EQ(c.pop_front(), 0u);
+  EXPECT_EQ(c.pop_front(), 1u);
+  c.push(4);  // tail wraps past kCapacity
+  c.push(5);
+  ASSERT_EQ(c.size(), 4u);
+  EXPECT_EQ(c.peek(0), 5u);
+  EXPECT_EQ(c.peek(1), 4u);
+  EXPECT_EQ(c.peek(2), 3u);
+  EXPECT_EQ(c.peek(3), 2u);
+}
+
+TEST(Chunk, PeekOnEmptyChunkAsserts) {
+  // Precondition violation: peek on an empty chunk. Debug builds must trap
+  // on the assert; in NDEBUG the masked ring index still lands in-bounds
+  // (the read is garbage but not out-of-range), which is what
+  // EXPECT_DEBUG_DEATH's release leg executes.
+  Chunk c;
+  c.push(1);
+  (void)c.pop();
+  EXPECT_DEBUG_DEATH((void)c.peek(0), "depth < size");
+}
+
+TEST(Chunk, PeekDepthPastTailAsserts) {
+  // depth == size() is one past the oldest live entry: precondition
+  // violation even on a non-empty chunk, and the masked read stays
+  // in-bounds under NDEBUG as above.
+  Chunk c;
+  c.push(7);
+  c.push(8);
+  EXPECT_EQ(c.peek(1), 7u);
+  EXPECT_DEBUG_DEATH((void)c.peek(2), "depth < size");
+}
+
 TEST(Chunk, PriorityField) {
   Chunk c;
   c.set_priority(17);

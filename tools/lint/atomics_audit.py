@@ -51,12 +51,15 @@ LINT_SCOPE = [
 ]
 
 # Default mutation targets: the two structures named by the acceptance
-# criteria plus the spinlock, which is the only load-bearing synchronization
-# the StealingMultiQueue has left (docs/CONCURRENCY.md).
+# criteria, the spinlock (the only load-bearing synchronization the
+# StealingMultiQueue has left — docs/CONCURRENCY.md), and the Wasp scheduler
+# protocol itself (curr-bucket publication, steal epochs, termination scan),
+# which the seeded end-to-end harness in test_verify exercises.
 MUTATE_SCOPE = [
     "src/concurrent/chase_lev_deque.hpp",
     "src/concurrent/stealing_multiqueue.hpp",
     "src/concurrent/spinlock.hpp",
+    "src/sssp/wasp.cpp",
 ]
 
 ABBREV = {
