@@ -8,13 +8,13 @@
 #include <future>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <sstream>
 #include <thread>
-#include <unordered_set>
 #include <vector>
 
+#include "support/cancel.hpp"
 #include "support/chaos.hpp"
+#include "support/errors.hpp"
 #include "support/stats.hpp"
 
 namespace wasp::bench {
@@ -54,49 +54,20 @@ class ProgressMonitor final : public obs::RunObserver {
 };
 
 /// Solvers handed out by make_solver(). Owning them here (instead of by
-/// value in the bench binaries) is what makes watchdog abandonment safe:
-/// a poisoned solver is release()d from this list and deliberately leaked,
-/// because its abandoned runner thread still references the solver's
-/// metrics registry, distance pool, and team, and destroying those under a
-/// live thread is a use-after-free. Idle teams block on a condition
-/// variable, so keeping abandoned (and finished) solvers alive until exit
-/// costs only parked threads.
+/// value in the bench binaries) keeps one construction per worker count for
+/// the whole process — the amortization the Solver front-end exists for.
 std::vector<std::unique_ptr<Solver>> g_solvers;  // NOLINT(cert-err58-cpp)
 
-/// Teams whose runner thread was abandoned mid-run by the watchdog. Such a
-/// team still has workers executing the abandoned trial, so handing it a new
-/// run would wedge immediately; measure() fails fast on it instead. Keyed on
-/// the solver's team (stable for the solver's lifetime).
-std::mutex g_poisoned_mu;
-std::unordered_set<const ThreadTeam*> g_poisoned;  // NOLINT(cert-err58-cpp)
-
-bool team_poisoned(const ThreadTeam& team) {
-  std::lock_guard<std::mutex> lock(g_poisoned_mu);
-  return g_poisoned.count(&team) != 0;
-}
-
-void poison_solver(Solver& solver) {
-  {
-    std::lock_guard<std::mutex> lock(g_poisoned_mu);
-    g_poisoned.insert(&solver.team());
-  }
-  for (auto& owned : g_solvers) {
-    if (owned.get() == &solver) {
-      (void)owned.release();  // leaked on purpose: see g_solvers above
-      break;
-    }
-  }
-}
-
-/// Runs one trial on a helper thread so the harness can give up on it.
+/// Runs one trial on a helper thread so the harness can interrupt it.
 /// Returns true when the trial finished within `timeout_seconds` (result in
 /// `out`; exceptions from Solver::solve rethrow here). A trial whose monitor
 /// recorded observer ticks during the budget is making forward progress and
 /// earns exactly one budget extension. On expiry the watchdog disables fault
 /// injection process-wide -- the only supported livelock source -- and
 /// grants one more timeout for the run to unwind; a run that still does not
-/// return is abandoned (thread detached, team poisoned) and the function
-/// returns false.
+/// return is cancelled through the trial's CancelToken, which every
+/// algorithm polls, so the runner joins promptly and the Solver stays
+/// reusable for the next trial (no thread is ever detached, nothing leaks).
 bool run_with_watchdog(const Graph& g, VertexId source,
                        const SsspOptions& options, Solver& solver,
                        double timeout_seconds, const ProgressMonitor* monitor,
@@ -106,29 +77,34 @@ bool run_with_watchdog(const Graph& g, VertexId source,
     out = solver.solve(g, source);
     return true;
   }
-  // `source` is captured by value: after abandonment the runner outlives
-  // this frame. The solver's state survives via poison_solver()'s leak; the
-  // graph is the caller's and is the one object an abandoned runner may
-  // still read after the caller drops it (benches hold workloads in loop
-  // scope). In practice the run drains quickly once injection is cut.
+  CancelToken token;
+  solver.options().cancel = &token;
   std::packaged_task<SsspResult()> task(
       [&solver, &g, source] { return solver.solve(g, source); });
   std::future<SsspResult> future = task.get_future();
   std::thread runner(std::move(task));
-  const auto budget = std::chrono::duration<double>(timeout_seconds);
-  std::uint64_t ticks_before = monitor != nullptr ? monitor->ticks() : 0;
-  if (future.wait_for(budget) == std::future_status::ready) {
+  const auto finish = [&](bool completed) {
     runner.join();
+    solver.options().cancel = nullptr;
+    if (!completed) {
+      // Cancelled run: consume the typed failure so the shared state is
+      // drained; the epoch bump already discarded the partial distances.
+      try {
+        future.get();
+      } catch (const SolveCancelledError&) {
+      }
+      return false;
+    }
     out = future.get();
     return true;
-  }
+  };
+  const auto budget = std::chrono::duration<double>(timeout_seconds);
+  std::uint64_t ticks_before = monitor != nullptr ? monitor->ticks() : 0;
+  if (future.wait_for(budget) == std::future_status::ready) return finish(true);
   if (monitor != nullptr && monitor->ticks() != ticks_before) {
     // Rounds/progress advanced during the budget: slow, not hung.
-    if (future.wait_for(budget) == std::future_status::ready) {
-      runner.join();
-      out = future.get();
-      return true;
-    }
+    if (future.wait_for(budget) == std::future_status::ready)
+      return finish(true);
   }
   // Timed out. Pull the injection kill switch: chaos-induced livelocks (e.g.
   // steal-storm policies at unlucky rates) clear within microseconds once
@@ -136,15 +112,17 @@ bool run_with_watchdog(const Graph& g, VertexId source,
   chaos::disable_all();
   const bool recovered =
       future.wait_for(budget) == std::future_status::ready;
-  chaos::enable_all();
   if (recovered) {
-    runner.join();
-    out = future.get();  // counted as a trip by the caller despite recovering
-  } else {
-    runner.detach();
-    poison_solver(solver);
+    chaos::enable_all();
+    (void)finish(true);  // counted as a trip by the caller despite recovering
+    return false;
   }
-  return false;
+  // Still wedged: cancel cooperatively. The polling sites notice within one
+  // interval and the run unwinds through its own termination protocol.
+  token.request_cancel(CancelReason::kWatchdog);
+  const bool gone = finish(false);
+  chaos::enable_all();
+  return gone;  // always false: the trial produced no result
 }
 
 }  // namespace
@@ -152,20 +130,11 @@ bool run_with_watchdog(const Graph& g, VertexId source,
 Measurement measure(const Graph& g, VertexId source, const SsspOptions& options,
                     int trials, Solver& solver, double watchdog_seconds) {
   Measurement m;
-  if (team_poisoned(solver.team())) {
-    m.failure = "team-poisoned";
-    m.best_seconds = std::numeric_limits<double>::quiet_NaN();
-    m.median_seconds = m.best_seconds;
-    return m;
-  }
   std::vector<double> times;
   m.best_seconds = 1e100;
   SsspOptions opts = options;
-  // Heap-allocated so it can be leaked if a trial is abandoned: the
-  // detached runner keeps ticking the monitor through the solver's options
-  // copy after this frame is gone.
-  auto monitor = std::make_unique<ProgressMonitor>(options.observer);
-  opts.observer = monitor.get();
+  ProgressMonitor monitor(options.observer);
+  opts.observer = &monitor;
   // Keep the NUMA topology the solver resolved at construction: bench
   // configs usually carry none, and per-trial re-detection is exactly the
   // cost the Solver front-end amortizes away.
@@ -173,15 +142,13 @@ Measurement measure(const Graph& g, VertexId source, const SsspOptions& options,
   for (int t = 0; t < std::max(trials, 1); ++t) {
     SsspResult r;
     if (!run_with_watchdog(g, source, opts, solver, watchdog_seconds,
-                           monitor.get(), r)) {
+                           &monitor, r)) {
       ++m.watchdog_trips;
-      if (team_poisoned(solver.team())) {
-        m.failure = "watchdog-timeout";
-        break;
-      }
-      // The run recovered once injection was cut, so the configuration is a
-      // chaos-induced livelock: retry the remaining trials injection-free
-      // (once per measurement) instead of failing the row.
+      // The trial tripped (recovered-after-kill-switch or cancelled): the
+      // configuration is most plausibly a chaos-induced livelock, so retry
+      // the remaining trials injection-free (once per measurement) instead
+      // of failing the row. The solver itself is fine either way — a
+      // cancelled run unwound cooperatively and the team is idle again.
       if (!m.chaos_retried && (opts.chaos != nullptr ||
                                opts.wasp.chaos != nullptr)) {
         m.chaos_retried = true;
@@ -199,9 +166,6 @@ Measurement measure(const Graph& g, VertexId source, const SsspOptions& options,
       m.stats = r.stats;
       m.metrics = std::move(r.metrics);
     }
-  }
-  if (team_poisoned(solver.team())) {
-    (void)monitor.release();  // the abandoned runner still ticks it
   }
   if (times.empty()) {
     if (m.failure.empty()) m.failure = "watchdog-timeout";

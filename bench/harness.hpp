@@ -44,10 +44,12 @@ inline constexpr double kDefaultWatchdogSeconds = 120.0;
 ///
 /// Each trial runs under a watchdog: a trial exceeding `watchdog_seconds`
 /// is interrupted (fault injection is disabled process-wide first, which
-/// un-wedges chaos-induced livelocks), recorded in `watchdog_trips`, and —
-/// once per measurement — retried with injection disabled. A measurement
-/// whose retry also fails carries a non-empty `failure` instead of wedging
-/// the suite; its times are NaN. Pass watchdog_seconds <= 0 to disable.
+/// un-wedges chaos-induced livelocks; a run that still will not finish is
+/// cancelled through its CancelToken and joined), recorded in
+/// `watchdog_trips`, and — once per measurement — retried with injection
+/// disabled. A measurement whose retry also fails carries a non-empty
+/// `failure` instead of wedging the suite; its times are NaN. Pass
+/// watchdog_seconds <= 0 to disable.
 Measurement measure(const Graph& g, VertexId source, const SsspOptions& options,
                     int trials, Solver& solver,
                     double watchdog_seconds = kDefaultWatchdogSeconds);
@@ -55,10 +57,8 @@ Measurement measure(const Graph& g, VertexId source, const SsspOptions& options,
 /// Builds the Solver a bench binary routes its measurements through: the
 /// worker count is fixed here; measure() installs each configuration's
 /// options into it per measurement. The harness keeps ownership (solvers
-/// live until process exit): when a watchdog trip abandons a run, the
-/// solver's detached runner thread still references its registry, distance
-/// pool, and team, so a poisoned solver is leaked rather than destroyed.
-/// Route every solver that measure() may watchdog through this factory.
+/// live until process exit) purely to amortize construction — a tripped
+/// trial is cancelled and joined, so every solver is destroyed normally.
 Solver& make_solver(int threads);
 
 /// Power-of-two delta candidates from 1 up to a heuristic cap derived from

@@ -23,6 +23,18 @@ const char* counter_name(CounterId id) {
     case CounterId::kIdleNs: return "idle_ns";
     case CounterId::kEpochSweeps: return "epoch_sweeps";
     case CounterId::kPrefetchIssued: return "prefetch_issued";
+    case CounterId::kQueriesSubmitted: return "queries_submitted";
+    case CounterId::kQueriesServed: return "queries_served";
+    case CounterId::kQueriesServedStale: return "queries_served_stale";
+    case CounterId::kQueriesCancelled: return "queries_cancelled";
+    case CounterId::kQueriesDeadlineExpired: return "queries_deadline_expired";
+    case CounterId::kQueriesShed: return "queries_shed";
+    case CounterId::kQueriesRejected: return "queries_rejected";
+    case CounterId::kQueriesCoalesced: return "queries_coalesced";
+    case CounterId::kQueriesFailed: return "queries_failed";
+    case CounterId::kQueryRetries: return "query_retries";
+    case CounterId::kSolverRebuilds: return "solver_rebuilds";
+    case CounterId::kWatchdogCancels: return "watchdog_cancels";
   }
   return "?";
 }

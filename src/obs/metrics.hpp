@@ -42,8 +42,22 @@ enum class CounterId : std::uint8_t {
   kIdleNs,             ///< total idle/termination-scan time
   kEpochSweeps,        ///< O(V) distance-array initializations this run
   kPrefetchIssued,     ///< software prefetches issued in relaxation loops
+  // --- QueryService accounting (cumulative over the service lifetime; a
+  // --- per-run solver registry never touches these) -----------------------
+  kQueriesSubmitted,       ///< submit() calls accepted into the queue
+  kQueriesServed,          ///< queries completed with fresh distances
+  kQueriesServedStale,     ///< queries degraded to a cached same-source result
+  kQueriesCancelled,       ///< queries cancelled by explicit request
+  kQueriesDeadlineExpired, ///< queries cancelled/expired by their deadline
+  kQueriesShed,            ///< queued queries evicted by admission control
+  kQueriesRejected,        ///< submit() calls refused (ServiceOverloadedError)
+  kQueriesCoalesced,       ///< submits merged into an queued same-source entry
+  kQueriesFailed,          ///< queries exhausted their retry budget
+  kQueryRetries,           ///< solve attempts beyond each query's first
+  kSolverRebuilds,         ///< quarantined Solvers rebuilt off the hot path
+  kWatchdogCancels,        ///< overdue runs cancelled by the service watchdog
 };
-inline constexpr std::size_t kNumCounters = 16;
+inline constexpr std::size_t kNumCounters = 28;
 
 enum class GaugeId : std::uint8_t {
   kMaxFrontier,  ///< largest synchronous-round frontier seen

@@ -1,0 +1,443 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "support/errors.hpp"
+
+namespace wasp::service {
+
+namespace {
+
+using CId = obs::CounterId;
+
+double ms_between(CancelToken::Clock::time_point from,
+                  CancelToken::Clock::time_point to) {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+             to - from)
+      .count();
+}
+
+}  // namespace
+
+const char* to_string(Outcome o) {
+  switch (o) {
+    case Outcome::kServed: return "served";
+    case Outcome::kServedStale: return "served_stale";
+    case Outcome::kCancelled: return "cancelled";
+    case Outcome::kDeadlineExpired: return "deadline_expired";
+    case Outcome::kShed: return "shed";
+    case Outcome::kFailed: return "failed";
+  }
+  return "?";
+}
+
+void ServiceConfig::validate() const {
+  if (num_solvers < 1)
+    throw InvalidOptionsError("ServiceConfig: num_solvers must be >= 1");
+  if (queue_capacity < 1)
+    throw InvalidOptionsError("ServiceConfig: queue_capacity must be >= 1");
+  if (max_retries < 0)
+    throw InvalidOptionsError("ServiceConfig: max_retries must be >= 0");
+  if (watchdog_interval.count() <= 0)
+    throw InvalidOptionsError("ServiceConfig: watchdog_interval must be > 0");
+  solver.validate();
+}
+
+/// One accepted query: identity, knobs, timing anchors, the token shared
+/// with the in-flight run, and the promise clients wait on.
+struct QueryService::Pending {
+  const Graph* graph = nullptr;
+  VertexId source = 0;
+  QueryOptions opt;
+  Clock::time_point submitted;
+  Clock::time_point deadline;  // Clock::time_point::max() when unbounded
+  std::shared_ptr<CancelToken> token = std::make_shared<CancelToken>();
+  std::promise<QueryResult> promise;
+  std::shared_future<QueryResult> future;
+  std::uint64_t id = 0;
+};
+
+QueryService::QueryService(ServiceConfig config)
+    // validate() runs before any member depends on the knobs (the registry
+    // ctor would otherwise throw its own error for num_solvers < 1).
+    : config_((config.validate(), std::move(config))),
+      running_(static_cast<std::size_t>(config_.num_solvers)),
+      registry_(config_.num_solvers + 1) {
+  workers_.reserve(static_cast<std::size_t>(config_.num_solvers));
+  for (int w = 0; w < config_.num_solvers; ++w)
+    workers_.emplace_back([this, w] { worker_main(w); });
+  watchdog_ = std::thread([this] { watchdog_main(); });
+}
+
+QueryService::~QueryService() { shutdown(); }
+
+std::unique_ptr<Solver> QueryService::build_solver() const {
+  SsspOptions opt = config_.solver;
+  opt.cancel = nullptr;  // installed per query
+  return std::make_unique<Solver>(std::move(opt));
+}
+
+std::shared_future<QueryResult> QueryService::submit(const Graph& g,
+                                                     VertexId source,
+                                                     QueryOptions opt) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopping_)
+    throw std::logic_error("QueryService::submit: service is shut down");
+  obs::MetricsShard& adm = registry_.shard(0);
+
+  const auto now = Clock::now();
+  std::chrono::nanoseconds budget =
+      opt.budget.count() > 0 ? opt.budget : config_.default_budget;
+  const Clock::time_point deadline =
+      budget.count() > 0 ? now + budget : Clock::time_point::max();
+
+  // Same-source coalescing: ride an already-queued entry and share its
+  // future. The entry inherits the laxer deadline and the higher priority,
+  // so no rider loses an answer it would have gotten alone.
+  if (config_.coalesce) {
+    for (const Entry& e : queue_) {
+      if (e->graph == &g && e->source == source) {
+        adm.inc(CId::kQueriesCoalesced);
+        tenants_[opt.tenant].coalesced += 1;
+        e->deadline = std::max(e->deadline, deadline);
+        e->opt.priority = std::max(e->opt.priority, opt.priority);
+        if (e->deadline == Clock::time_point::max()) {
+          e->token->reset();  // safe: not running yet; drops the armed deadline
+        } else {
+          e->token->set_deadline(e->deadline);
+        }
+        return e->future;
+      }
+    }
+  }
+
+  // Admission control: past the high-watermark, either shed the worst
+  // queued entry (if the newcomer outranks it) or refuse the newcomer.
+  if (queue_.size() >= config_.queue_capacity) {
+    auto victim = queue_.end();
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      // <= prefers the youngest among equally-low entries, so FIFO order
+      // of the survivors is preserved.
+      if (victim == queue_.end() ||
+          (*it)->opt.priority <= (*victim)->opt.priority) {
+        victim = it;
+      }
+    }
+    if (victim != queue_.end() && (*victim)->opt.priority < opt.priority) {
+      Entry shed = *victim;
+      queue_.erase(victim);
+      finish_unrun_locked(shed, Outcome::kShed);
+    } else {
+      adm.inc(CId::kQueriesRejected);
+      tenants_[opt.tenant].rejected += 1;
+      std::ostringstream os;
+      os << "QueryService::submit: queue full (" << queue_.size() << "/"
+         << config_.queue_capacity << ") and priority " << opt.priority
+         << " outranks no queued query";
+      throw ServiceOverloadedError(os.str());
+    }
+  }
+
+  Entry e = std::make_shared<Pending>();
+  e->graph = &g;
+  e->source = source;
+  e->opt = std::move(opt);
+  e->submitted = now;
+  e->deadline = deadline;
+  // Arm the token too: the run's own polling sites then enforce the budget
+  // even between watchdog ticks.
+  if (deadline != Clock::time_point::max()) e->token->set_deadline(deadline);
+  e->id = next_id_++;
+  e->future = e->promise.get_future().share();
+  queue_.push_back(e);
+  adm.inc(CId::kQueriesSubmitted);
+  tenants_[e->opt.tenant].submitted += 1;
+  work_cv_.notify_one();
+  return e->future;
+}
+
+QueryResult QueryService::solve(const Graph& g, VertexId source,
+                                QueryOptions opt) {
+  return submit(g, source, std::move(opt)).get();
+}
+
+QueryService::Entry QueryService::pop_next_locked() {
+  auto best = queue_.begin();
+  for (auto it = std::next(queue_.begin()); it != queue_.end(); ++it) {
+    if ((*it)->opt.priority > (*best)->opt.priority) best = it;
+  }
+  Entry e = *best;
+  queue_.erase(best);
+  return e;
+}
+
+void QueryService::finish_unrun_locked(const Entry& e, Outcome outcome) {
+  QueryResult r;
+  r.query_id = e->id;
+  r.queue_ms = ms_between(e->submitted, Clock::now());
+  r.outcome = outcome;
+  if (e->opt.allow_stale) {
+    auto hit = stale_.find({e->graph, e->source});
+    if (hit != stale_.end()) {
+      r.outcome = Outcome::kServedStale;
+      r.dist = *hit->second;
+    }
+  }
+  if (outcome == Outcome::kShed) registry_.shard(0).inc(CId::kQueriesShed);
+  account_locked(e->opt.tenant, r.outcome);
+  e->promise.set_value(std::move(r));
+}
+
+void QueryService::account_locked(const std::string& tenant, Outcome outcome) {
+  TenantStats& t = tenants_[tenant];
+  obs::MetricsShard& adm = registry_.shard(0);
+  switch (outcome) {
+    case Outcome::kServed:
+      t.served += 1;
+      adm.inc(CId::kQueriesServed);
+      break;
+    case Outcome::kServedStale:
+      t.served_stale += 1;
+      adm.inc(CId::kQueriesServedStale);
+      break;
+    case Outcome::kCancelled:
+      t.cancelled += 1;
+      adm.inc(CId::kQueriesCancelled);
+      break;
+    case Outcome::kDeadlineExpired:
+      t.deadline_expired += 1;
+      adm.inc(CId::kQueriesDeadlineExpired);
+      break;
+    case Outcome::kShed:
+      t.shed += 1;
+      break;  // kQueriesShed counted at the shed site
+    case Outcome::kFailed:
+      t.failed += 1;
+      adm.inc(CId::kQueriesFailed);
+      break;
+  }
+}
+
+void QueryService::cache_store_locked(const Graph* g, VertexId source,
+                                      const std::vector<Distance>& dist) {
+  if (config_.stale_cache_entries == 0) return;
+  const std::pair<const Graph*, VertexId> key{g, source};
+  auto it = stale_.find(key);
+  if (it == stale_.end() && stale_.size() >= config_.stale_cache_entries) {
+    stale_.erase(stale_order_.front());
+    stale_order_.pop_front();
+  }
+  if (it == stale_.end()) stale_order_.push_back(key);
+  stale_[key] = std::make_shared<const std::vector<Distance>>(dist);
+}
+
+QueryResult QueryService::execute(Pending& q, int wid,
+                                  std::unique_ptr<Solver>& solver,
+                                  Xoshiro256& rng, bool& quarantine) {
+  obs::MetricsShard& my = registry_.shard(wid + 1);
+  QueryResult r;
+  r.query_id = q.id;
+  const auto start = Clock::now();
+  r.queue_ms = ms_between(q.submitted, start);
+  CancelToken& token = *q.token;
+
+  for (int attempt = 0;; ++attempt) {
+    r.attempts = attempt + 1;
+    try {
+      if (solver == nullptr) {
+        // Rebuild after quarantine — this is the only construction on the
+        // query path, and only ever after a previous attempt tore down.
+        solver = build_solver();
+        my.inc(CId::kSolverRebuilds);
+      }
+      if (config_.inject_failure) config_.inject_failure(attempt);
+      solver->options().cancel = &token;
+      SsspResult s = solver->solve(*q.graph, q.source);
+      solver->options().cancel = nullptr;
+      r.outcome = Outcome::kServed;
+      r.dist = std::move(s.dist);
+      r.stats = s.stats;
+      break;
+    } catch (const SolveCancelledError& ex) {
+      if (solver != nullptr) solver->options().cancel = nullptr;
+      r.outcome = ex.reason() == CancelReason::kDeadline
+                      ? Outcome::kDeadlineExpired
+                      : Outcome::kCancelled;
+      // A cancelled run unwound cooperatively, but its team just absorbed
+      // an abnormal exit — quarantine and rebuild off this query's path.
+      if (r.outcome == Outcome::kDeadlineExpired) quarantine = true;
+      if (r.outcome == Outcome::kDeadlineExpired && q.opt.allow_stale) {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto hit = stale_.find({q.graph, q.source});
+        if (hit != stale_.end()) {
+          r.outcome = Outcome::kServedStale;
+          r.dist = *hit->second;
+        }
+      }
+      break;
+    } catch (const std::logic_error& ex) {
+      // Permanent input/config error (InvalidSourceError, SolverBusyError,
+      // ...): retrying cannot help.
+      if (solver != nullptr) solver->options().cancel = nullptr;
+      r.outcome = Outcome::kFailed;
+      r.error = ex.what();
+      break;
+    } catch (const std::exception& ex) {
+      // Transient failure (chaos-forced, injected): quarantine the Solver
+      // immediately — its internal state is suspect — and retry on a fresh
+      // one after a seeded, jittered backoff.
+      solver.reset();
+      if (attempt >= config_.max_retries || token.cancel_requested()) {
+        r.outcome = Outcome::kFailed;
+        r.error = ex.what();
+        break;
+      }
+      my.inc(CId::kQueryRetries);
+      const auto base =
+          static_cast<std::uint64_t>(config_.retry_backoff.count());
+      std::uint64_t backoff = base << attempt;
+      if (base > 0) backoff += rng.next_below(base);  // jitter in [0, base)
+      r.backoff_ns.push_back(backoff);
+      if (backoff > 0)
+        std::this_thread::sleep_for(std::chrono::nanoseconds(backoff));
+    }
+  }
+  r.solve_ms = ms_between(start, Clock::now());
+  return r;
+}
+
+void QueryService::worker_main(int wid) {
+  std::unique_ptr<Solver> solver = build_solver();
+  Xoshiro256 rng(hash_mix(config_.seed ^
+                          (0x9E3779B97F4A7C15ULL *
+                           static_cast<std::uint64_t>(wid + 1))));
+  for (;;) {
+    Entry e;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      e = pop_next_locked();
+      running_[static_cast<std::size_t>(wid)] = e;
+    }
+
+    QueryResult r;
+    bool quarantine = false;
+    if (e->token->poll()) {
+      // Fired while queued (deadline between watchdog ticks, or shutdown):
+      // resolve without running.
+      r.query_id = e->id;
+      r.queue_ms = ms_between(e->submitted, Clock::now());
+      r.outcome = e->token->reason() == CancelReason::kDeadline
+                      ? Outcome::kDeadlineExpired
+                      : Outcome::kCancelled;
+    } else {
+      r = execute(*e, wid, solver, rng, quarantine);
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      running_[static_cast<std::size_t>(wid)] = nullptr;
+      if (r.outcome == Outcome::kServed)
+        cache_store_locked(e->graph, e->source, r.dist);
+      account_locked(e->opt.tenant, r.outcome);
+    }
+    e->promise.set_value(std::move(r));
+
+    // Quarantine teardown happens after the promise resolved, so the
+    // rebuild cost is off this query's critical path (the *next* query on
+    // this worker pays it, counted as kSolverRebuilds in execute()).
+    if (quarantine) solver.reset();
+  }
+}
+
+void QueryService::watchdog_main() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    watchdog_cv_.wait_for(lock, config_.watchdog_interval);
+    if (stopping_) break;
+    const auto now = Clock::now();
+    // Overdue running queries: cancel their tokens; the run unwinds at its
+    // next polling site and the worker maps the reason to an outcome.
+    for (const Entry& e : running_) {
+      if (e != nullptr && now >= e->deadline &&
+          !e->token->cancel_requested()) {
+        e->token->request_cancel(CancelReason::kDeadline);
+        registry_.shard(0).inc(CId::kWatchdogCancels);
+      }
+    }
+    // Overdue queued queries: expire them without ever running.
+    for (auto it = queue_.begin(); it != queue_.end();) {
+      if (now >= (*it)->deadline) {
+        Entry e = *it;
+        it = queue_.erase(it);
+        e->token->request_cancel(CancelReason::kDeadline);
+        finish_unrun_locked(e, Outcome::kDeadlineExpired);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void QueryService::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      // Already shut down (idempotent); fall through to the joins below,
+      // which are no-ops on already-joined threads guarded by joinable().
+    }
+    stopping_ = true;
+    // Resolve everything still queued and wave off everything running.
+    for (const Entry& e : queue_) {
+      e->token->request_cancel(CancelReason::kUser);
+      finish_unrun_locked(e, Outcome::kCancelled);
+    }
+    queue_.clear();
+    for (const Entry& e : running_) {
+      if (e != nullptr) e->token->request_cancel(CancelReason::kUser);
+    }
+  }
+  work_cv_.notify_all();
+  watchdog_cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
+  for (std::thread& w : workers_)
+    if (w.joinable()) w.join();
+}
+
+ServiceStats QueryService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServiceStats s;
+  s.tenants = tenants_;
+  for (const auto& [name, t] : s.tenants) {
+    (void)name;
+    s.totals.submitted += t.submitted;
+    s.totals.served += t.served;
+    s.totals.served_stale += t.served_stale;
+    s.totals.cancelled += t.cancelled;
+    s.totals.deadline_expired += t.deadline_expired;
+    s.totals.shed += t.shed;
+    s.totals.rejected += t.rejected;
+    s.totals.failed += t.failed;
+    s.totals.coalesced += t.coalesced;
+  }
+  const obs::MetricsSnapshot snap = registry_.snapshot();
+  s.retries = snap.totals[static_cast<std::size_t>(CId::kQueryRetries)];
+  s.solver_rebuilds =
+      snap.totals[static_cast<std::size_t>(CId::kSolverRebuilds)];
+  s.watchdog_cancels =
+      snap.totals[static_cast<std::size_t>(CId::kWatchdogCancels)];
+  s.queue_depth = queue_.size();
+  for (const Entry& e : running_)
+    if (e != nullptr) ++s.running;
+  return s;
+}
+
+obs::MetricsSnapshot QueryService::metrics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return registry_.snapshot();
+}
+
+}  // namespace wasp::service

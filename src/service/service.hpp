@@ -1,0 +1,235 @@
+// wasp::service::QueryService — the resilient concurrent-query layer over a
+// Solver fleet (ROADMAP item 1's "millions of users" front door).
+//
+// A QueryService owns a fixed pool of Solvers (one worker thread + team
+// each) behind a bounded admission queue, and gives every query a
+// robustness contract the bare Solver cannot:
+//
+//  * Deadlines — a per-query budget is armed on the query's CancelToken
+//    (the polling sites in every parallel algorithm self-cancel past it)
+//    AND enforced by a service watchdog thread that cancels overdue runs
+//    and expires overdue queued entries, so a query never waits on a
+//    budget it has already blown.
+//  * Cooperative cancellation — an overdue or shed query unwinds through
+//    the algorithms' own termination protocols within one polling
+//    interval; the partial distance state is epoch-bumped away and the
+//    Solver stays reusable.
+//  * Admission control — past the queue high-watermark a new query either
+//    evicts the lowest-priority queued entry (if it outranks one) or is
+//    refused with ServiceOverloadedError. Same-source submits coalesce
+//    onto one queued entry and share its future.
+//  * Graceful degradation — a shed or queue-expired query marked
+//    allow_stale is answered from a small same-source cache of previously
+//    served distances (Outcome::kServedStale) instead of failing dry.
+//  * Fault containment — a Solver whose run was deadline-cancelled or
+//    threw a transient error is quarantined and rebuilt off the hot path;
+//    transient failures retry with seeded, jittered exponential backoff,
+//    capped per query.
+//
+// Accounting flows through an obs::MetricsRegistry (the kQueries* /
+// kSolverRebuilds / kWatchdogCancels counters) plus a per-tenant table;
+// bench/qps_service drives the whole contract under a seeded open-loop
+// arrival stream. Semantics are documented in docs/ROBUSTNESS.md.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "obs/metrics.hpp"
+#include "sssp/common.hpp"
+#include "sssp/solver.hpp"
+#include "support/cancel.hpp"
+#include "support/random.hpp"
+
+namespace wasp::service {
+
+/// How a query left the service. kServed / kServedStale carry distances;
+/// the rest are terminal without a (fresh) answer.
+enum class Outcome : std::uint8_t {
+  kServed,           ///< solved within budget; dist is fresh
+  kServedStale,      ///< degraded to a cached same-source result
+  kCancelled,        ///< explicit cancel (service shutdown / user request)
+  kDeadlineExpired,  ///< budget blown — queued too long or cancelled mid-run
+  kShed,             ///< evicted from the queue by a higher-priority query
+  kFailed,           ///< retry budget exhausted (or permanent input error)
+};
+
+/// Name of `o` ("served", "served_stale", "cancelled", ...).
+const char* to_string(Outcome o);
+
+/// Per-query knobs for submit().
+struct QueryOptions {
+  std::string tenant = "default";  ///< accounting + shedding identity
+  int priority = 0;                ///< higher wins queue order; lowest sheds
+  /// Wall-clock budget from submit() (queueing included); <= 0 uses the
+  /// service default_budget (which may itself be "none").
+  std::chrono::nanoseconds budget{0};
+  /// Permit a cached same-source answer when shed or expired in queue.
+  bool allow_stale = false;
+};
+
+/// What a query's future resolves to. Never an exception: every accepted
+/// query resolves with a typed Outcome (only submit() itself throws).
+struct QueryResult {
+  Outcome outcome = Outcome::kFailed;
+  std::vector<Distance> dist;  ///< filled for kServed / kServedStale
+  SsspStats stats;             ///< solver stats (kServed only)
+  std::string error;           ///< what() of the terminal failure (kFailed)
+  double queue_ms = 0.0;       ///< submit -> worker pickup (or terminal)
+  double solve_ms = 0.0;       ///< worker pickup -> completion, all attempts
+  int attempts = 0;            ///< solve attempts (retries = attempts - 1)
+  /// Backoff slept before each retry, in submit order — exposed so tests
+  /// can pin the seeded jitter sequence byte-for-byte.
+  std::vector<std::uint64_t> backoff_ns;
+  std::uint64_t query_id = 0;
+
+  [[nodiscard]] bool ok() const {
+    return outcome == Outcome::kServed || outcome == Outcome::kServedStale;
+  }
+};
+
+/// Service-wide configuration. `solver` is the per-Solver option block
+/// (algorithm, threads-per-solver, chaos engine, ...).
+struct ServiceConfig {
+  SsspOptions solver;
+  int num_solvers = 2;              ///< worker threads, one Solver each
+  std::size_t queue_capacity = 64;  ///< admission high-watermark
+  /// Budget applied when a query's own budget is <= 0; <= 0 = no deadline.
+  std::chrono::nanoseconds default_budget{0};
+  /// Watchdog tick. Overdue runs are cancelled at most one tick after the
+  /// polling sites would have noticed themselves (belt and braces: the
+  /// in-run deadline polls usually fire first).
+  std::chrono::nanoseconds watchdog_interval{std::chrono::milliseconds(1)};
+  int max_retries = 2;  ///< extra solve attempts per query on transient errors
+  /// Base backoff before retry k: base << k plus jitter in [0, base),
+  /// drawn from a per-worker PRNG seeded from `seed` (deterministic replay).
+  std::chrono::nanoseconds retry_backoff{std::chrono::microseconds(200)};
+  std::uint64_t seed = 0x5EEDULL;
+  bool coalesce = true;  ///< merge same-(graph, source) queued submits
+  /// Same-source stale-answer cache entries (FIFO eviction; 0 disables).
+  std::size_t stale_cache_entries = 16;
+  /// Test hook: invoked before solve attempt `attempt` (0-based) on the
+  /// worker thread; a throw is treated as that attempt's transient failure.
+  /// Production leaves this empty — it exists to pin the retry/backoff
+  /// path deterministically in tests.
+  std::function<void(int attempt)> inject_failure;
+
+  /// Rejects nonsensical knobs (num_solvers < 1, queue_capacity < 1,
+  /// max_retries < 0, watchdog_interval <= 0) with InvalidOptionsError and
+  /// validates the nested solver options.
+  void validate() const;
+};
+
+/// Per-tenant accounting (all monotonically increasing).
+struct TenantStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t served = 0;
+  std::uint64_t served_stale = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t deadline_expired = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t coalesced = 0;
+};
+
+/// Snapshot of the service's accounting state.
+struct ServiceStats {
+  TenantStats totals;
+  std::map<std::string, TenantStats> tenants;
+  std::uint64_t retries = 0;           ///< solve attempts beyond the first
+  std::uint64_t solver_rebuilds = 0;   ///< quarantined Solvers rebuilt
+  std::uint64_t watchdog_cancels = 0;  ///< overdue runs the watchdog killed
+  std::size_t queue_depth = 0;         ///< queued (not running) right now
+  std::size_t running = 0;             ///< queries being solved right now
+};
+
+/// The Solver-fleet query front door. Thread-safe: submit()/solve()/stats()
+/// may be called concurrently from any thread.
+class QueryService {
+ public:
+  /// Validates `config`, spawns num_solvers workers (each builds its own
+  /// Solver on its own thread) and the watchdog.
+  explicit QueryService(ServiceConfig config);
+  /// Equivalent to shutdown().
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Enqueues a query. Returns a future that always resolves to a
+  /// QueryResult (see Outcome). Throws ServiceOverloadedError when the
+  /// queue is at capacity and the query outranks nothing, and
+  /// std::logic_error after shutdown(). `g` must outlive the query.
+  std::shared_future<QueryResult> submit(const Graph& g, VertexId source,
+                                         QueryOptions opt = {});
+
+  /// Convenience: submit() and wait.
+  QueryResult solve(const Graph& g, VertexId source, QueryOptions opt = {});
+
+  /// Cancels queued + running queries, waits for the fleet to drain, and
+  /// rejects further submits. Idempotent.
+  void shutdown();
+
+  [[nodiscard]] ServiceStats stats() const;
+  /// Cumulative service counters (the kQueries* block; per_thread[0] is the
+  /// admission/watchdog shard, [1..num_solvers] the workers).
+  [[nodiscard]] obs::MetricsSnapshot metrics() const;
+  [[nodiscard]] const ServiceConfig& config() const { return config_; }
+
+ private:
+  struct Pending;
+  using Entry = std::shared_ptr<Pending>;
+  using Clock = CancelToken::Clock;
+
+  void worker_main(int wid);
+  void watchdog_main();
+  [[nodiscard]] std::unique_ptr<Solver> build_solver() const;
+  QueryResult execute(Pending& q, int wid, std::unique_ptr<Solver>& solver,
+                      Xoshiro256& rng, bool& quarantine);
+  /// Picks the best queued entry (highest priority, FIFO within). mu_ held.
+  Entry pop_next_locked();
+  /// Resolves a queued entry without running it (shed / expired / shutdown),
+  /// downgrading to the stale cache when allowed. mu_ held.
+  void finish_unrun_locked(const Entry& e, Outcome outcome);
+  /// Tenant + counter accounting for a terminal outcome. mu_ held.
+  void account_locked(const std::string& tenant, Outcome outcome);
+  void cache_store_locked(const Graph* g, VertexId source,
+                          const std::vector<Distance>& dist);
+
+  ServiceConfig config_;
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;      ///< workers: queue or stop
+  std::condition_variable watchdog_cv_;  ///< watchdog tick / stop
+  std::deque<Entry> queue_;
+  std::vector<Entry> running_;  ///< slot per worker, null when idle
+  bool stopping_ = false;
+  std::uint64_t next_id_ = 1;
+
+  /// Shard 0: admission/watchdog paths (all writes under mu_). Shards
+  /// 1..num_solvers: one per worker thread (single-writer, no lock).
+  mutable obs::MetricsRegistry registry_;
+  std::map<std::string, TenantStats> tenants_;  // guarded by mu_
+
+  /// Same-source stale cache, FIFO-evicted. Guarded by mu_.
+  std::map<std::pair<const Graph*, VertexId>,
+           std::shared_ptr<const std::vector<Distance>>>
+      stale_;
+  std::deque<std::pair<const Graph*, VertexId>> stale_order_;
+
+  std::vector<std::thread> workers_;
+  std::thread watchdog_;
+};
+
+}  // namespace wasp::service

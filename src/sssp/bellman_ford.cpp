@@ -24,6 +24,7 @@ SsspResult bellman_ford(const Graph& g, VertexId source, RunContext& ctx) {
   for (auto& f : in_next) f.store(0, std::memory_order_relaxed);
   std::atomic<std::size_t> cursor{0};
   std::uint64_t rounds = 0;
+  bool cancelled = false;  // written by tid 0 pre-barrier, read post-barrier
 
   Timer timer;
   ctx.team.run([&](int tid) {
@@ -31,6 +32,9 @@ SsspResult bellman_ford(const Graph& g, VertexId source, RunContext& ctx) {
     for (;;) {
       // Dynamic claim over the current frontier.
       for (;;) {
+        // Cancellation point: drop unclaimed entries; the round decision
+        // below makes every thread leave at the same barrier.
+        if (ctx.stop_requested()) break;
         const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
         if (i >= frontier.size()) break;
         const VertexId u = frontier[i];
@@ -54,6 +58,8 @@ SsspResult bellman_ford(const Graph& g, VertexId source, RunContext& ctx) {
         const std::size_t total = next.compute_offsets();
         frontier.resize(total);
         cursor.store(0, std::memory_order_relaxed);
+        // Round-top deadline/cancel poll (tid 0 only, so all threads agree).
+        cancelled = ctx.poll_cancel();
         ++rounds;
         my.observe(obs::HistId::kRoundFrontier, processed);
         obs::trace_instant(ctx.trace, tid, obs::EventKind::kRoundTransition,
@@ -61,7 +67,7 @@ SsspResult bellman_ford(const Graph& g, VertexId source, RunContext& ctx) {
         if (ctx.observer != nullptr) ctx.observer->on_round(rounds, processed);
       }
       barrier.wait(tid);
-      if (frontier.empty()) break;
+      if (frontier.empty() || cancelled) break;
       next.copy_out_and_clear(tid, frontier.data());
       barrier.wait(tid);
     }

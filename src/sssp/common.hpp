@@ -15,6 +15,7 @@
 #include "obs/metrics.hpp"
 #include "obs/observer.hpp"
 #include "obs/trace.hpp"
+#include "support/cancel.hpp"
 #include "support/chaos.hpp"
 #include "support/numa.hpp"
 #include "support/types.hpp"
@@ -274,6 +275,13 @@ struct SsspOptions {
   /// Fault-injection engine threaded to the workers of chaos-aware
   /// algorithms (Wasp, SMQ-Dijkstra, delta-stepping). Null = no injection.
   chaos::Engine* chaos = nullptr;
+  /// Cooperative cancellation/deadline token (null = not cancellable).
+  /// Polled at cheap boundaries by every parallel algorithm; a fired token
+  /// makes the front-end discard the partial run (epoch bump) and throw
+  /// SolveCancelledError. Must outlive the run. The sequential Dijkstra
+  /// reference checks it only at entry — see docs/ROBUSTNESS.md for the
+  /// per-algorithm granularity.
+  CancelToken* cancel = nullptr;
   /// Run-lifecycle hooks (null = none): live callbacks and the event-ring
   /// recorder. Both must outlive the run; the observer must be thread-safe.
   obs::RunObserver* observer = nullptr;
@@ -334,6 +342,20 @@ struct RunContext {
   AtomicDistances* dist = nullptr;
   /// options.prefetch_lookahead, copied here by dispatch_sssp.
   std::uint32_t prefetch_lookahead = 0;
+  /// options.cancel, copied here by dispatch_sssp (null = not cancellable).
+  CancelToken* cancel = nullptr;
+
+  /// Hot-path cancellation poll (relaxed flag load; see cancel.hpp). Safe
+  /// from any worker.
+  [[nodiscard]] bool stop_requested() const {
+    return cancel != nullptr && cancel->cancel_requested();
+  }
+
+  /// Low-frequency poll that also checks the token's deadline (one clock
+  /// read). Use at round tops, steal-sweep entries, and termination scans.
+  [[nodiscard]] bool poll_cancel() const {
+    return cancel != nullptr && cancel->poll();
+  }
 
   /// The run's distance array: what dispatch_sssp acquired, or — for direct
   /// algorithm calls that bypass the front door (tests, microbenches) — `n`

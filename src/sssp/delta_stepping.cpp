@@ -104,6 +104,11 @@ SsspResult delta_stepping(const Graph& g, VertexId source, Weight delta,
     while (!done) {
       // Bulk-process the shared frontier (the current bin's vertices).
       for (;;) {
+        // Cancellation point (relaxed poll per claimed vertex): unclaimed
+        // frontier entries are simply dropped; the round's reduction below
+        // folds the token into the shared `done` decision so every thread
+        // leaves at the same barrier.
+        if (ctx.stop_requested()) break;
         const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
         if (i >= frontier.size()) break;
         process_vertex(frontier[i]);
@@ -114,7 +119,7 @@ SsspResult delta_stepping(const Graph& g, VertexId source, Weight delta,
       // large-diameter graphs).
       if (bucket_fusion) {
         std::vector<VertexId> fused;
-        while (curr_bin < my_bins.bins.size() &&
+        while (!ctx.stop_requested() && curr_bin < my_bins.bins.size() &&
                !my_bins.bins[curr_bin].empty() &&
                my_bins.bins[curr_bin].size() <= kFusionLimit) {
           fused.swap(my_bins.bins[curr_bin]);
@@ -146,7 +151,9 @@ SsspResult delta_stepping(const Graph& g, VertexId source, Weight delta,
         for (int t = 0; t < p; ++t)
           next = std::min(next, local_min[static_cast<std::size_t>(t)].value);
         curr_bin = next;
-        done = next == kInfBin;
+        // Round-top deadline/cancel poll, folded into the shared `done`
+        // decision by tid 0 alone so all threads agree on it.
+        done = next == kInfBin || ctx.poll_cancel();
         ++rounds;
         // One on_round per synchronous step, with the frontier this step just
         // processed (call count == stats.rounds; tests rely on it).

@@ -74,6 +74,9 @@ SsspResult julienne_sssp(const Graph& g, VertexId source, Weight delta,
         // sources (the Mawi hub) across threads.
         const std::uint64_t lower = curr_bin * static_cast<std::uint64_t>(delta);
         for (;;) {
+          // Cancellation point: drop unclaimed blocks; the reduce below
+          // folds the token into `done` so all threads exit together.
+          if (ctx.stop_requested()) break;
           const std::size_t blk = cursor.fetch_add(512, std::memory_order_relaxed);
           if (blk >= n) break;
           const std::size_t end = std::min<std::size_t>(blk + 512, n);
@@ -95,6 +98,8 @@ SsspResult julienne_sssp(const Graph& g, VertexId source, Weight delta,
         }
       } else {
         for (;;) {
+          // Cancellation point (see the pull branch above).
+          if (ctx.stop_requested()) break;
           const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
           if (i >= frontier.size()) break;
           const VertexId u = frontier[i];
@@ -134,6 +139,9 @@ SsspResult julienne_sssp(const Graph& g, VertexId source, Weight delta,
         for (int t = 0; t < p; ++t)
           next = std::min(next, reduce[static_cast<std::size_t>(t)].value);
         curr_bin = next;
+        // Round-top deadline/cancel poll (tid 0 only): a fired token ends
+        // the run at the barrier below, before the overflow/gather phases.
+        done = ctx.poll_cancel();
         ++rounds;
         my.observe(obs::HistId::kRoundFrontier, frontier.size());
         obs::trace_instant(ctx.trace, tid, obs::EventKind::kRoundTransition,
@@ -142,6 +150,7 @@ SsspResult julienne_sssp(const Graph& g, VertexId source, Weight delta,
           ctx.observer->on_round(rounds, frontier.size());
       }
       barrier.wait(tid);
+      if (done) break;
 
       if (curr_bin == kInfBin) {
         // Window empty: re-bucket overflow (if any). New base is the

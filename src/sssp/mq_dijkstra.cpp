@@ -38,6 +38,9 @@ SsspResult mq_dijkstra(const Graph& g, VertexId source, int c, int stickiness,
     obs::MetricsShard& my = ctx.metrics.shard(tid);
     std::uint64_t progress = 0;
     for (;;) {
+      // Cancellation point (async: each thread leaves independently; pending
+      // queue entries are simply abandoned with the run-local MultiQueue).
+      if (ctx.stop_requested()) break;
       Distance d = 0;
       VertexId u = 0;
       // Raise `busy` before popping: a thread that pops the queue's last
@@ -51,8 +54,12 @@ SsspResult mq_dijkstra(const Graph& g, VertexId source, int c, int stickiness,
         if (d == dist.load(u)) {
           my.inc(CId::kVerticesProcessed);
           ++progress;
-          if (ctx.observer != nullptr && (progress & 0xFFFu) == 0)
-            ctx.observer->on_progress(tid, progress);
+          if ((progress & 0xFFFu) == 0) {
+            if (ctx.observer != nullptr) ctx.observer->on_progress(tid, progress);
+            // Deadline poll at the observer cadence; a fired deadline
+            // self-cancels and the loop-top poll exits.
+            (void)ctx.poll_cancel();
+          }
           // Indexed drain so edge j can prefetch the dist entry of edge
           // j + lookahead's target (the only data-dependent miss here).
           const WEdge* edges = g.edge_data() + g.edge_offset(u);
@@ -77,6 +84,9 @@ SsspResult mq_dijkstra(const Graph& g, VertexId source, int c, int stickiness,
       }
       busy.fetch_sub(1, std::memory_order_acq_rel);
       my.inc(CId::kTerminationScans);
+      // Idle scans also check the deadline (a starved thread may otherwise
+      // only spin on the flag while peers keep the queue non-empty).
+      (void)ctx.poll_cancel();
       if (mq.size_estimate() == 0 && busy.load(std::memory_order_acquire) == 0) {
         if (ctx.observer != nullptr) ctx.observer->on_termination(tid);
         break;

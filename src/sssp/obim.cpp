@@ -166,8 +166,11 @@ SsspResult obim_sssp(const Graph& g, VertexId source, Weight delta,
           level * static_cast<std::uint64_t>(delta)) {
         my.inc(CId::kVerticesProcessed);
         ++progress;
-        if (ctx.observer != nullptr && (progress & 0xFFFu) == 0)
-          ctx.observer->on_progress(tid, progress);
+        if ((progress & 0xFFFu) == 0) {
+          if (ctx.observer != nullptr) ctx.observer->on_progress(tid, progress);
+          // Deadline poll at the observer cadence; the loop-top poll exits.
+          (void)ctx.poll_cancel();
+        }
         for (const WEdge& e : g.out_neighbors(u)) {
           my.inc(CId::kRelaxations);
           const Distance nd = saturating_add(du, e.w);
@@ -181,6 +184,10 @@ SsspResult obim_sssp(const Graph& g, VertexId source, Weight delta,
     };
 
     for (;;) {
+      // Cancellation point (async: threads leave independently; abandoned
+      // local/global chunks die with the run-local bag structures, and the
+      // `pending` count is simply left non-zero — every peer also polls).
+      if (ctx.stop_requested()) break;
       // Drain the local bag at the current level first (thread-local work,
       // no synchronization — OBIM's fast path).
       if (curr != kInfLevel && curr < local.fill.size() && local.fill[curr] &&
@@ -197,6 +204,8 @@ SsspResult obim_sssp(const Graph& g, VertexId source, Weight delta,
       const std::uint64_t best_global = global.best_level();
       if (best_local == kInfLevel && best_global == kInfLevel) {
         my.inc(CId::kTerminationScans);
+        // Idle scans also check the deadline (see mq_dijkstra).
+        (void)ctx.poll_cancel();
         if (pending.load(std::memory_order_acquire) == 0) {
           if (ctx.observer != nullptr) ctx.observer->on_termination(tid);
           break;

@@ -33,6 +33,9 @@ SsspResult smq_dijkstra(const Graph& g, VertexId source, int steal_batch,
     obs::MetricsShard& my = ctx.metrics.shard(tid);
     std::uint64_t progress = 0;
     for (;;) {
+      // Cancellation point (async: each thread leaves independently;
+      // pending entries are abandoned with the run-local queue).
+      if (ctx.stop_requested()) break;
       Distance d = 0;
       VertexId u = 0;
       // Same visibility protocol as mq_dijkstra: busy is raised before the
@@ -44,8 +47,11 @@ SsspResult smq_dijkstra(const Graph& g, VertexId source, int steal_batch,
         if (d == dist.load(u)) {  // stale check
           my.inc(CId::kVerticesProcessed);
           ++progress;
-          if (ctx.observer != nullptr && (progress & 0xFFFu) == 0)
-            ctx.observer->on_progress(tid, progress);
+          if ((progress & 0xFFFu) == 0) {
+            if (ctx.observer != nullptr) ctx.observer->on_progress(tid, progress);
+            // Deadline poll at the observer cadence (see mq_dijkstra).
+            (void)ctx.poll_cancel();
+          }
           // Indexed drain so edge j can prefetch the dist entry of edge
           // j + lookahead's target (the only data-dependent miss here).
           const WEdge* edges = g.edge_data() + g.edge_offset(u);
@@ -69,6 +75,8 @@ SsspResult smq_dijkstra(const Graph& g, VertexId source, int steal_batch,
       }
       busy.fetch_sub(1, std::memory_order_acq_rel);
       my.inc(CId::kTerminationScans);
+      // Idle scans also check the deadline (see mq_dijkstra).
+      (void)ctx.poll_cancel();
       if (smq.size_estimate() == 0 && busy.load(std::memory_order_acquire) == 0) {
         if (ctx.observer != nullptr) ctx.observer->on_termination(tid);
         break;

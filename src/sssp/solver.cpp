@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "sssp/sssp.hpp"
+#include "support/errors.hpp"
 #include "support/numa.hpp"
 
 namespace wasp {
@@ -27,6 +28,17 @@ Solver::Solver(SsspOptions options)
 }
 
 SsspResult Solver::solve(const Graph& g, VertexId source) {
+  // Re-entrancy guard. acquire pairs with the release in BusyGuard so the
+  // winner of a later exchange sees everything the previous solve wrote.
+  if (busy_.exchange(1, std::memory_order_acquire) != 0) {
+    throw SolverBusyError(
+        "Solver::solve: a solve is already in flight on this Solver; "
+        "concurrent solves need one Solver each (see solver.hpp)");
+  }
+  struct BusyGuard {
+    verify::atomic<std::uint32_t>& flag;
+    ~BusyGuard() { flag.store(0, std::memory_order_release); }
+  } guard{busy_};
   RunContext ctx{team_, metrics_,
                  trace_ ? trace_.get() : options_.trace,
                  observer_ != nullptr ? observer_ : options_.observer,

@@ -46,6 +46,14 @@ class Solver {
   /// Runs options().algo from `source` on the owned team. Re-validates
   /// options (they are mutable between solves) and resets the registry, so
   /// each result's metrics cover exactly one run.
+  ///
+  /// A Solver runs ONE solve at a time: the team, distance pool, and
+  /// registry are per-run state with no internal synchronization.
+  /// Overlapping calls from a second thread throw SolverBusyError instead
+  /// of racing silently — hold one Solver per in-flight query (the
+  /// service::QueryService fleet does exactly this). A solve cancelled via
+  /// options().cancel throws SolveCancelledError after discarding the
+  /// partial distances; the Solver remains reusable.
   SsspResult solve(const Graph& g, VertexId source);
 
   /// Same, overriding the algorithm for this call only (the bench harness
@@ -86,6 +94,8 @@ class Solver {
   std::unique_ptr<obs::TraceRecorder> trace_;
   obs::RunObserver* observer_ = nullptr;
   obs::MetricsSnapshot last_metrics_;
+  /// Re-entrancy guard: 1 while a solve is in flight (see solve() docs).
+  verify::atomic<std::uint32_t> busy_{0};
   // Declared last so it is destroyed first: the destructor joins the
   // workers, so no worker can still be touching the registry, pool, or
   // recorder above when they are freed.

@@ -53,6 +53,14 @@ void check_inputs(const Graph& g, VertexId source, const SsspOptions& options) {
   }
 }
 
+/// Throws the typed cancellation outcome for a token that has fired.
+[[noreturn]] void throw_cancelled(const CancelToken& token) {
+  const CancelReason reason = token.reason();
+  std::ostringstream os;
+  os << "run_sssp: solve cancelled (" << to_string(reason) << ")";
+  throw SolveCancelledError(os.str(), reason);
+}
+
 }  // namespace
 
 namespace detail {
@@ -62,9 +70,14 @@ SsspResult dispatch_sssp(const Graph& g, VertexId source,
   options.validate();
   check_inputs(g, source, options);
   ctx.metrics.reset();
+  ctx.cancel = options.cancel;
+  // Pre-fired token (or an already-expired deadline): reject before any
+  // worker or distance array is touched.
+  if (ctx.cancel != nullptr && ctx.cancel->poll()) throw_cancelled(*ctx.cancel);
   if (options.algo == Algorithm::kDijkstra) {
     // The sequential reference keeps its own plain distance vector; don't
-    // charge it a pooled-array acquisition.
+    // charge it a pooled-array acquisition. It is also not cancellable
+    // mid-run: no worker polls, so the token was only checked above.
     return dijkstra(g, source);
   }
   DistancePool local_pool;
@@ -74,6 +87,7 @@ SsspResult dispatch_sssp(const Graph& g, VertexId source,
   ctx.prefetch_lookahead = options.prefetch_lookahead;
   ctx.metrics.shard(0).inc(obs::CounterId::kEpochSweeps,
                            pool.sweeps() - sweeps_before);
+  SsspResult result = [&]() -> SsspResult {
   switch (options.algo) {
     case Algorithm::kDijkstra:
       return dijkstra(g, source);
@@ -118,6 +132,16 @@ SsspResult dispatch_sssp(const Graph& g, VertexId source,
       return obim_sssp(g, source, options.delta, options.obim.chunk_size, ctx);
   }
   return dijkstra(g, source);  // unreachable
+  }();
+  // The team has joined by now, so every worker's polls happened-before
+  // this check. A fired token means the distance array holds a partial
+  // relaxation — bump its epoch so the pooled state is logically all-inf
+  // again (the Solver stays reusable) and surface the typed outcome.
+  if (ctx.cancel != nullptr && ctx.cancel->cancel_requested()) {
+    ctx.dist->new_epoch();
+    throw_cancelled(*ctx.cancel);
+  }
+  return result;
 }
 
 }  // namespace detail

@@ -186,7 +186,10 @@ SsspResult stepping_sssp(const Graph& g, VertexId source, SteppingKind kind,
         if (tid == 0) {
           std::vector<VertexId> seq(frontier.begin(), frontier.end());
           std::vector<VertexId> next_seq;
-          while (!seq.empty() && seq.size() <= kSparseLimit) {
+          // poll_cancel (not just the flag): the sequential drain can run
+          // many rounds between barriers, so it checks the deadline itself.
+          while (!ctx.poll_cancel() && !seq.empty() &&
+                 seq.size() <= kSparseLimit) {
             Distance fmin = kInfDist;
             Distance rmin = kInfDist;
             for (const VertexId u : seq) {
@@ -231,6 +234,9 @@ SsspResult stepping_sssp(const Graph& g, VertexId source, SteppingKind kind,
         // Frontier vertices above the threshold are deferred; the rest are
         // consumed (their out-edges are covered by the pulls below).
         for (;;) {
+          // Cancellation point: drop unclaimed blocks; Phase 3 folds the
+          // token into `done` so all threads exit at the same barrier.
+          if (ctx.stop_requested()) break;
           const std::size_t i = cursor.fetch_add(64, std::memory_order_relaxed);
           if (i >= frontier.size()) break;
           const std::size_t hi = std::min(i + 64, frontier.size());
@@ -245,6 +251,8 @@ SsspResult stepping_sssp(const Graph& g, VertexId source, SteppingKind kind,
         barrier.wait(tid);
         // Pull into every vertex that is not yet settled.
         for (;;) {
+          // Cancellation point (see the defer loop above).
+          if (ctx.stop_requested()) break;
           const std::size_t blk = cursor.fetch_add(512, std::memory_order_relaxed);
           if (blk >= n) break;
           const std::size_t end = std::min<std::size_t>(blk + 512, n);
@@ -266,6 +274,8 @@ SsspResult stepping_sssp(const Graph& g, VertexId source, SteppingKind kind,
         }
       } else {
         for (;;) {
+          // Cancellation point (see the defer loop above).
+          if (ctx.stop_requested()) break;
           const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
           if (i >= frontier.size()) break;
           const VertexId u = frontier[i];
@@ -286,7 +296,8 @@ SsspResult stepping_sssp(const Graph& g, VertexId source, SteppingKind kind,
         const std::size_t total = bag.compute_offsets();
         frontier.resize(total);
         cursor.store(0, std::memory_order_relaxed);
-        done = total == 0;
+        // Round-top deadline/cancel poll (tid 0 only, so all threads agree).
+        done = total == 0 || ctx.poll_cancel();
         ++rounds;
         my.observe(obs::HistId::kRoundFrontier, processed);
         obs::trace_instant(ctx.trace, tid, obs::EventKind::kRoundTransition,

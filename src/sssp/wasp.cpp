@@ -122,6 +122,14 @@ class WaspWorker {
   /// The main work loop (Algorithm 1, work_stealing_shortest_path).
   void run() {
     for (;;) {
+      // Cancellation point: abandon unprocessed buckets (arena-owned, freed
+      // with the run) and leave through the normal idle path. Publishing
+      // kInfPriority lets peers still inside terminate() reach the all-idle
+      // verdict even before their own poll fires.
+      if (s_.ctx.stop_requested()) {
+        publish_curr(kInfPriority);
+        return;
+      }
       drain_current_bucket();
 
       // Current bucket is empty: try to find higher-priority work elsewhere
@@ -201,6 +209,9 @@ class WaspWorker {
     std::uint64_t prio;
     std::uint32_t begin, end;
     while (pop_current(u, prio, begin, end)) {
+      // Cancellation point (one relaxed load per pop): leftover entries in
+      // the buffer/deque are simply dropped — run() exits next iteration.
+      if (s_.ctx.stop_requested()) return;
       if (is_stale(u, prio)) {
         my_.inc(CId::kStaleSkips);
         continue;
@@ -298,8 +309,14 @@ class WaspWorker {
 
     my_.inc(CId::kVerticesProcessed);
     ++progress_;
-    if (s_.ctx.observer != nullptr && (progress_ & 0xFFFu) == 0)
-      s_.ctx.observer->on_progress(tid_, progress_);
+    if ((progress_ & 0xFFFu) == 0) {
+      if (s_.ctx.observer != nullptr)
+        s_.ctx.observer->on_progress(tid_, progress_);
+      // Deadline poll at the observer cadence (one clock read per 4096
+      // vertices); a fired deadline self-cancels the token and the next
+      // stop_requested() poll unwinds the worker.
+      (void)s_.ctx.poll_cancel();
+    }
     // Indexed drain over the interleaved records so edge j can prefetch the
     // dist entry of edge j + lookahead's target (the data-dependent miss).
     const WEdge* edges = s_.graph.edge_data() + g.edge_offset(u);
@@ -328,6 +345,10 @@ class WaspWorker {
   /// chunks immediately (stolen chunks are never re-exposed, §4.1), and
   /// returns true.
   bool try_steal_and_process(std::uint64_t next) {
+    // Deadline poll at sweep entry: steal storms never process a vertex, so
+    // without this a livelocked sweep loop would only notice an external
+    // cancel, not its own expired budget.
+    (void)s_.ctx.poll_cancel();
     ChunkT* stolen[64];
     int count = 0;
     obs::trace_begin(s_.ctx.trace, tid_, EK::kStealSweep, next);
@@ -362,6 +383,12 @@ class WaspWorker {
       const std::uint32_t rb = c->range_begin();
       const std::uint32_t re = c->range_end();
       while (!c->empty()) {
+        // Cancellation point: stop processing but keep recycling the stolen
+        // chunks (they are never re-exposed) so ownership stays tidy.
+        if (s_.ctx.stop_requested()) {
+          c->reset();
+          break;
+        }
         const VertexId u = c->pop();
         if (is_stale(u, prio)) {
           my_.inc(CId::kStaleSkips);
@@ -488,6 +515,14 @@ class WaspWorker {
     bool sweep = true;  // sweep on entry; afterwards only when work is seen
     obs::trace_begin(s_.ctx.trace, tid_, EK::kTerminationScan);
     for (;;) {
+      // Cancellation point (with deadline check — idle scans are exactly
+      // where an overdue run spins): leave as if terminated; peers observe
+      // us idle and exit through their own polls or a genuine verdict.
+      if (s_.ctx.poll_cancel()) {
+        publish_curr(kInfPriority);
+        obs::trace_end(s_.ctx.trace, tid_, EK::kTerminationScan, 1);
+        return true;
+      }
       if (sweep) {
         s_.steal_epoch.fetch_add(1, std::memory_order_acq_rel);
         publish_curr(kStealingPriority);

@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
-"""Validates a BENCH_tput.json report written by bench/tput_queries.
+"""Validates a machine-readable bench report (BENCH_tput.json or
+BENCH_qps.json), dispatching on the report's "bench" field.
 
-Checks (stdlib only, exit 1 on the first violation):
+tput_queries checks (stdlib only, exit 1 on the first violation):
   * the top-level schema: schema_version == 1, bench == "tput_queries",
     threads/queries positive, a non-empty results list;
   * every row carries the full key set with sane values: qps > 0, positive
@@ -12,14 +13,27 @@ Checks (stdlib only, exit 1 on the first violation):
     steady-state at least 25% below first-solve);
   * at least one epoch sweep was recorded per row (the first acquire).
 
+qps_service checks:
+  * the top-level schema: bench == "qps_service", fleet shape positive,
+    a non-empty rates list and the cancel block;
+  * per rate: the accounting invariant — every accepted attempt resolved
+    with exactly one outcome (served + served_stale + cancelled +
+    deadline_expired + shed + failed == submitted) and submitted +
+    rejected == attempts;
+  * percentile monotonicity p50 <= p90 <= p99;
+  * saturation_qps > 0, and the cancel phase resolved every query
+    (expired + served == queries) with non-negative, ordered overshoot
+    percentiles.
+
 With --schema-only, the timing-relation checks (steady <= first * tolerance
-and --min-gain) are skipped: schema, key-set, and positivity checks still run.
-This is the mode ctest uses on a tiny smoke run, where latencies are noise.
+and --min-gain) are skipped for tput reports: schema, key-set, positivity,
+and the qps accounting invariants still run. This is the mode ctest uses on
+tiny smoke runs, where latencies are noise but bookkeeping must be exact.
 
 Usage:
   python3 tools/bench_check.py BENCH_tput.json
   python3 tools/bench_check.py BENCH_tput.json --min-gain 1.3334 --graph USA
-  python3 tools/bench_check.py BENCH_tput.json --schema-only
+  python3 tools/bench_check.py BENCH_qps.json --schema-only
 """
 
 import argparse
@@ -35,20 +49,34 @@ TOP_KEYS = {
     "distinct_sources", "results",
 }
 
+QPS_TOP_KEYS = {
+    "schema_version", "bench", "graph", "threads", "solvers",
+    "queue_capacity", "seed", "chaos", "rates", "saturation_qps", "cancel",
+}
+QPS_RATE_KEYS = {
+    "offered_qps", "attempts", "submitted", "rejected", "served",
+    "served_stale", "cancelled", "deadline_expired", "shed", "failed",
+    "coalesced", "served_qps", "p50_ms", "p90_ms", "p99_ms",
+}
+QPS_CANCEL_KEYS = {
+    "queries", "budget_ms", "expired", "served", "p50_overshoot_ms",
+    "p99_overshoot_ms", "watchdog_interval_ms",
+}
+QPS_OUTCOMES = (
+    "served", "served_stale", "cancelled", "deadline_expired", "shed",
+    "failed",
+)
+
 
 def fail(msg):
     print(f"bench_check: FAIL: {msg}", file=sys.stderr)
     sys.exit(1)
 
 
-def check_report(report, min_gain, graph_filter, tolerance, schema_only):
+def check_tput_report(report, min_gain, graph_filter, tolerance, schema_only):
     missing = TOP_KEYS - report.keys()
     if missing:
         fail(f"missing top-level keys: {sorted(missing)}")
-    if report["schema_version"] != 1:
-        fail(f"unsupported schema_version {report['schema_version']}")
-    if report["bench"] != "tput_queries":
-        fail(f"unexpected bench name {report['bench']!r}")
     if report["threads"] < 1 or report["queries"] < 2:
         fail("threads must be >= 1 and queries >= 2")
     rows = report["results"]
@@ -93,9 +121,89 @@ def check_report(report, min_gain, graph_filter, tolerance, schema_only):
         fail(f"no rows matched graph filter {sorted(graph_filter)}")
 
 
+def check_qps_report(report):
+    missing = QPS_TOP_KEYS - report.keys()
+    if missing:
+        fail(f"missing top-level keys: {sorted(missing)}")
+    if report["threads"] < 1 or report["solvers"] < 1:
+        fail("threads and solvers must be >= 1")
+    if report["queue_capacity"] < 1:
+        fail("queue_capacity must be >= 1")
+    rates = report["rates"]
+    if not rates:
+        fail("empty rates list")
+
+    for row in rates:
+        missing = QPS_RATE_KEYS - row.keys()
+        if missing:
+            fail(f"rate row: missing keys {sorted(missing)}")
+        name = f"rate {row['offered_qps']:.0f}qps"
+        if row["offered_qps"] <= 0:
+            fail(f"{name}: offered_qps must be positive")
+        if any(row[k] < 0 for k in QPS_OUTCOMES + ("attempts", "submitted",
+                                                   "rejected", "coalesced")):
+            fail(f"{name}: negative count")
+        resolved = sum(row[k] for k in QPS_OUTCOMES)
+        if resolved != row["submitted"]:
+            fail(f"{name}: outcomes sum to {resolved} but {row['submitted']} "
+                 "attempts were accepted — a query was dropped or "
+                 "double-counted")
+        if row["submitted"] + row["rejected"] != row["attempts"]:
+            fail(f"{name}: submitted {row['submitted']} + rejected "
+                 f"{row['rejected']} != attempts {row['attempts']}")
+        if not row["p50_ms"] <= row["p90_ms"] <= row["p99_ms"]:
+            fail(f"{name}: latency percentiles not monotonic: "
+                 f"p50 {row['p50_ms']}, p90 {row['p90_ms']}, "
+                 f"p99 {row['p99_ms']}")
+        if any(row[f"p{p}_ms"] < 0 for p in (50, 90, 99)):
+            fail(f"{name}: negative latency percentile")
+        print(f"bench_check: ok {name}: served {row['served']} "
+              f"(+{row['served_stale']} stale), shed {row['shed']}, "
+              f"rejected {row['rejected']}, expired "
+              f"{row['deadline_expired']}, {row['served_qps']:.0f} qps")
+
+    if report["saturation_qps"] <= 0:
+        fail(f"saturation_qps must be positive, "
+             f"got {report['saturation_qps']}")
+    if max(r["served_qps"] for r in rates) != report["saturation_qps"]:
+        fail("saturation_qps is not the max served_qps across rates")
+
+    cancel = report["cancel"]
+    missing = QPS_CANCEL_KEYS - cancel.keys()
+    if missing:
+        fail(f"cancel block: missing keys {sorted(missing)}")
+    if cancel["queries"] < 1 or cancel["budget_ms"] <= 0:
+        fail("cancel block: queries must be >= 1 and budget_ms positive")
+    if cancel["expired"] + cancel["served"] != cancel["queries"]:
+        fail(f"cancel block: expired {cancel['expired']} + served "
+             f"{cancel['served']} != queries {cancel['queries']} — a "
+             "cancelled query never resolved")
+    if not 0 <= cancel["p50_overshoot_ms"] <= cancel["p99_overshoot_ms"]:
+        fail("cancel block: overshoot percentiles negative or not monotonic")
+    print(f"bench_check: ok cancel: {cancel['expired']}/{cancel['queries']} "
+          f"expired, overshoot p50 {cancel['p50_overshoot_ms']:.3f}ms "
+          f"p99 {cancel['p99_overshoot_ms']:.3f}ms "
+          f"(watchdog {cancel['watchdog_interval_ms']:.1f}ms)")
+
+
+def check_report(report, min_gain, graph_filter, tolerance, schema_only):
+    if report.get("schema_version") != 1:
+        fail(f"unsupported schema_version {report.get('schema_version')}")
+    bench = report.get("bench")
+    if bench == "tput_queries":
+        check_tput_report(report, min_gain, graph_filter, tolerance,
+                          schema_only)
+    elif bench == "qps_service":
+        # The qps accounting invariants are exact at any scale, so
+        # --schema-only changes nothing here.
+        check_qps_report(report)
+    else:
+        fail(f"unexpected bench name {bench!r}")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("report", help="path to BENCH_tput.json")
+    parser.add_argument("report", help="path to BENCH_tput.json/BENCH_qps.json")
     parser.add_argument("--min-gain", type=float, default=1.0,
                         help="required first/steady latency ratio on checked "
                              "rows (default 1.0: steady must not be slower)")
