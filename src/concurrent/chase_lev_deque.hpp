@@ -30,6 +30,8 @@ class ChaseLevDeque {
  public:
   explicit ChaseLevDeque(std::uint64_t initial_capacity = 64) {
     auto* rb = new Ring(round_up_pow2(initial_capacity));
+    // Relaxed: construction precedes any sharing; whatever hands the deque
+    // to other threads provides the publication edge.
     buffer_.store(rb, std::memory_order_relaxed);
     retired_.emplace_back(rb);
   }
@@ -77,6 +79,8 @@ class ChaseLevDeque {
         item = nullptr;  // a thief got it
       }
       WASP_CHAOS_YIELD(chaos::Point::kYieldAfterCas);
+      // Relaxed: restoring bottom after the last-element race publishes
+      // nothing — the element's fate was already decided by the CAS on top.
       bottom_.store(b + 1, std::memory_order_relaxed);
     }
     return item;
@@ -101,7 +105,8 @@ class ChaseLevDeque {
     return item;
   }
 
-  /// Racy size estimate (monitoring / tests only).
+  /// Racy size estimate (monitoring / tests only). Relaxed loads: the
+  /// answer is stale the moment it is computed; no ordering required.
   [[nodiscard]] std::int64_t size_estimate() const {
     const std::int64_t b = bottom_.load(std::memory_order_relaxed);
     const std::int64_t t = top_.load(std::memory_order_relaxed);
@@ -113,15 +118,29 @@ class ChaseLevDeque {
  private:
   struct Ring {
     explicit Ring(std::uint64_t cap) : capacity(cap), mask(cap - 1),
-                                       slots(new verify::atomic<T>[cap]) {}
+                                       slots(new verify::atomic<T>[cap]) {
+      // Declares the plain capacity/mask/slots-pointer initialization to
+      // the race checker: a thief may only reach this ring through the
+      // `buffer_` consume load (CLD-da1296), whose release edge (grow's
+      // CLD-69c545 store) carries this construction. Weaken either side and
+      // the get() below races with this write.
+      WASP_VERIFY_WR(this);
+    }
     const std::uint64_t capacity;
     const std::uint64_t mask;
     std::unique_ptr<verify::atomic<T>[]> slots;
 
+    // Slot accesses are relaxed: the ordering of the *contents* rides the
+    // bottom_/top_ protocol (bottom release store CLD-b192e9, steal's fence +
+    // CAS); the slots only need to be atomic to make owner/thief cell
+    // overlap defined.
     T get(std::int64_t i) const {
+      WASP_VERIFY_RD(this);  // plain mask/slots-pointer read (see ctor)
       return slots[static_cast<std::uint64_t>(i) & mask].load(std::memory_order_relaxed);
     }
     void put(std::int64_t i, T item) {
+      WASP_VERIFY_RD(this);  // plain mask/slots-pointer read (see ctor)
+      // relaxed: contents ride the bottom_/top_ protocol (see get above)
       slots[static_cast<std::uint64_t>(i) & mask].store(item, std::memory_order_relaxed);
     }
   };
@@ -135,6 +154,8 @@ class ChaseLevDeque {
   Ring* grow(Ring* old, std::int64_t t, std::int64_t b) {
     auto* bigger = new Ring(old->capacity * 2);
     for (std::int64_t i = t; i < b; ++i) bigger->put(i, old->get(i));
+    // Release (CLD-69c545): carries the new ring's construction and the
+    // copied slots to the thief's consume load of buffer_ (CLD-da1296).
     buffer_.store(bigger, std::memory_order_release);
     retired_.emplace_back(bigger);  // owner-only container; old stays alive
     return bigger;

@@ -89,36 +89,44 @@ class BasicChunk {
     return v;
   }
 
+  /// The priority/range fields are *value-modeled* (verify::plain_load /
+  /// plain_store) rather than only race-checked: they are exactly the plain
+  /// payload a thief consumes after a steal, so a missing hb edge on the
+  /// handoff protocol shows up as a stale level/range value in the
+  /// simulation, not just a race verdict.
   [[nodiscard]] std::uint64_t priority() const {
-    WASP_VERIFY_RD(this);
-    return priority_;
+    return verify::plain_load(priority_);
   }
-  void set_priority(std::uint64_t p) {
-    WASP_VERIFY_WR(this);
-    priority_ = p;
-  }
+  void set_priority(std::uint64_t p) { verify::plain_store(priority_, p); }
 
   /// Turns this chunk into a single-vertex neighborhood-range chunk for
   /// edges [begin, end) of v's adjacency.
   void make_range(VertexId v, std::uint32_t begin, std::uint32_t end) {
     assert(empty());
     push(v);
-    range_begin_ = begin;
-    range_end_ = end;
+    verify::plain_store(range_begin_, begin);
+    verify::plain_store(range_end_, end);
   }
 
   /// True when the chunk carries a neighborhood sub-range rather than a set
   /// of whole vertices.
-  [[nodiscard]] bool is_range() const { return range_begin_ != range_end_; }
-  [[nodiscard]] std::uint32_t range_begin() const { return range_begin_; }
-  [[nodiscard]] std::uint32_t range_end() const { return range_end_; }
+  [[nodiscard]] bool is_range() const {
+    return verify::plain_load(range_begin_) != verify::plain_load(range_end_);
+  }
+  [[nodiscard]] std::uint32_t range_begin() const {
+    return verify::plain_load(range_begin_);
+  }
+  [[nodiscard]] std::uint32_t range_end() const {
+    return verify::plain_load(range_end_);
+  }
 
   /// Returns the chunk to a pristine state for reuse.
   void reset() {
     WASP_VERIFY_WR(this);
     head_ = tail_ = 0;
-    range_begin_ = range_end_ = 0;
-    priority_ = 0;
+    verify::plain_store(range_begin_, std::uint32_t{0});
+    verify::plain_store(range_end_, std::uint32_t{0});
+    verify::plain_store(priority_, std::uint64_t{0});
     next = nullptr;
   }
 

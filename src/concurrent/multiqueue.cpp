@@ -34,9 +34,11 @@ void MultiQueue::flush(int tid) {
   const auto qi = static_cast<std::size_t>(me.rng.next_below(queues_.size()));
   InternalQueue& q = queues_[qi].value;
   {
-    std::lock_guard<SpinLock> guard(q.lock);
+    SpinGuard guard(q.lock);
     WASP_VERIFY_WR(&q.heap);
     for (const Entry& e : me.insert_buffer) q.heap.push(e.key, e.value);
+    // Relaxed: top_key is a sampling hint; the heap itself is published by
+    // the SpinLock release on unlock.
     q.top_key.store(q.heap.top().key, std::memory_order_relaxed);
   }
   me.insert_buffer.clear();
@@ -47,6 +49,8 @@ int MultiQueue::pick_queue_two_choice(PerThread& me) {
   const auto n = queues_.size();
   const auto a = static_cast<std::size_t>(me.rng.next_below(n));
   const auto b = static_cast<std::size_t>(me.rng.next_below(n));
+  // Relaxed: two-choice sampling is advisory — a stale key only biases the
+  // pick; the queue lock re-validates before anything is popped.
   const Distance ka = queues_[a].value.top_key.load(std::memory_order_relaxed);
   const Distance kb = queues_[b].value.top_key.load(std::memory_order_relaxed);
   return static_cast<int>(ka <= kb ? a : b);
@@ -73,7 +77,7 @@ bool MultiQueue::refill(int /*tid*/, PerThread& me) {
       me.sticky_left = 0;  // empty queue: re-sample next time
       continue;
     }
-    std::lock_guard<SpinLock> guard(q.lock);
+    SpinGuard guard(q.lock);
     if (q.heap.empty()) {
       me.sticky_left = 0;
       continue;
@@ -87,6 +91,7 @@ bool MultiQueue::refill(int /*tid*/, PerThread& me) {
       const auto e = q.heap.pop();
       me.delete_buffer.push_back(Entry{e.key, e.value});
     }
+    // Relaxed hint refresh under the queue lock (see push_flush).
     q.top_key.store(q.heap.empty() ? kInfDist : q.heap.top().key,
                     std::memory_order_relaxed);
     me.queue_op_ns += timer.nanoseconds();
@@ -106,7 +111,7 @@ bool MultiQueue::try_pop(int tid, Distance& key, VertexId& value) {
   const Entry e = me.delete_buffer[me.delete_cursor++];
   key = e.key;
   value = e.value;
-  size_.fetch_sub(1, std::memory_order_relaxed);
+  size_.fetch_sub(1, std::memory_order_relaxed);  // relaxed: stats only
   return true;
 }
 

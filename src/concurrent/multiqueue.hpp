@@ -78,7 +78,7 @@ class MultiQueue {
  private:
   struct InternalQueue {
     SpinLock lock;
-    DaryHeap<Distance, VertexId, 8> heap;
+    DaryHeap<Distance, VertexId, 8> heap WASP_GUARDED_BY(lock);
     // Lock-free shadow of heap.top().key (kInfDist when empty), so the
     // two-choice comparison does not need the lock. Advisory: every decision
     // based on it is re-validated under `lock`, so relaxed accesses suffice

@@ -14,15 +14,20 @@
 #include <atomic>
 #include <thread>
 
+#include "support/thread_safety.hpp"
 #include "verify/checked_atomic.hpp"
 
 namespace wasp {
 
-class SpinLock {
+class WASP_CAPABILITY("mutex") SpinLock {
  public:
-  void lock() noexcept {
+  void lock() noexcept WASP_ACQUIRE() {
     int spins = 0;
     for (;;) {
+      // Acquire on the winning exchange pairs with unlock()'s release store:
+      // everything the previous holder wrote is visible to this one. The
+      // spin-wait below reads relaxed — it takes no ownership, it only
+      // watches for a plausible moment to retry the exchange.
       if (!flag_.exchange(true, std::memory_order_acquire)) return;
       while (flag_.load(std::memory_order_relaxed)) {
         if (++spins > kSpinsBeforeYield) {
@@ -33,16 +38,37 @@ class SpinLock {
     }
   }
 
-  bool try_lock() noexcept {
+  bool try_lock() noexcept WASP_TRY_ACQUIRE(true) {
+    // Relaxed peek is a contention filter only; the acquire exchange is the
+    // real acquisition edge (same pairing as lock()).
     return !flag_.load(std::memory_order_relaxed) &&
            !flag_.exchange(true, std::memory_order_acquire);
   }
 
-  void unlock() noexcept { flag_.store(false, std::memory_order_release); }
+  // Release: publishes the critical section to the next acquire exchange.
+  void unlock() noexcept WASP_RELEASE() {
+    flag_.store(false, std::memory_order_release);
+  }
 
  private:
   static constexpr int kSpinsBeforeYield = 64;
   verify::atomic<bool> flag_{false};
+};
+
+/// RAII guard for SpinLock, visible to TSA (std::lock_guard<SpinLock> is
+/// not, because the standard library carries no annotations).
+class WASP_SCOPED_CAPABILITY SpinGuard {
+ public:
+  explicit SpinGuard(SpinLock& lock) WASP_ACQUIRE(lock) : lock_(lock) {
+    lock_.lock();
+  }
+  ~SpinGuard() WASP_RELEASE() { lock_.unlock(); }
+
+  SpinGuard(const SpinGuard&) = delete;
+  SpinGuard& operator=(const SpinGuard&) = delete;
+
+ private:
+  SpinLock& lock_;
 };
 
 }  // namespace wasp

@@ -78,25 +78,27 @@ class StealingMultiQueue {
       const auto e = me.heap.pop();
       key = e.key;
       value = e.value;
-      size_.fetch_sub(1, std::memory_order_relaxed);
+      size_.fetch_sub(1, std::memory_order_relaxed);  // relaxed: stats only
       maybe_refill_buffer(me);
       return true;
     }
     if (buffer_min != kInfDist && pop_own_buffer(me, key, value)) {
-      size_.fetch_sub(1, std::memory_order_relaxed);
+      size_.fetch_sub(1, std::memory_order_relaxed);  // relaxed: stats only
       return true;
     }
     if (!me.heap.empty()) {
       const auto e = me.heap.pop();
       key = e.key;
       value = e.value;
-      size_.fetch_sub(1, std::memory_order_relaxed);
+      size_.fetch_sub(1, std::memory_order_relaxed);  // relaxed: stats only
       return true;
     }
     return steal_batch(tid, me, key, value);
   }
 
   [[nodiscard]] std::int64_t size_estimate() const {
+    // Relaxed: size_ is an advisory global-emptiness hint; termination has
+    // its own protocol in the schedulers.
     return size_.load(std::memory_order_relaxed);
   }
 
@@ -110,7 +112,10 @@ class StealingMultiQueue {
     Xoshiro256 rng{1};
     DaryHeap<Distance, VertexId, 4> heap;  // private: owner-only
     SpinLock buffer_lock;
-    std::vector<Entry> buffer;             // ascending; thieves take the lot
+    /// Ascending; thieves take the lot. Every access is under buffer_lock
+    /// (TSA-enforced); buffer_min stays unguarded because its unlocked
+    /// reads are the advisory sampling described above.
+    std::vector<Entry> buffer WASP_GUARDED_BY(buffer_lock);
     verify::atomic<Distance> buffer_min{kInfDist};
   };
 
@@ -121,7 +126,7 @@ class StealingMultiQueue {
     // push/pop occasion retries; a stale inf is re-validated below.
     if (me.buffer_min.load(std::memory_order_relaxed) != kInfDist) return;
     if (me.heap.empty()) return;
-    std::lock_guard<SpinLock> guard(me.buffer_lock);
+    SpinGuard guard(me.buffer_lock);
     if (!me.buffer.empty()) return;  // a thief raced us and left leftovers?
     WASP_VERIFY_WR(&me.buffer);
     const int batch = config_.steal_batch;
@@ -135,12 +140,14 @@ class StealingMultiQueue {
   }
 
   bool pop_own_buffer(PerThread& me, Distance& key, VertexId& value) {
-    std::lock_guard<SpinLock> guard(me.buffer_lock);
+    SpinGuard guard(me.buffer_lock);
     if (me.buffer.empty()) return false;
     WASP_VERIFY_WR(&me.buffer);
     key = me.buffer.front().key;
     value = me.buffer.front().value;
     me.buffer.erase(me.buffer.begin());
+    // Relaxed: buffer_min is a sampling hint; the buffer itself is guarded
+    // by buffer_lock, whose unlock publishes the new front.
     me.buffer_min.store(me.buffer.empty() ? kInfDist : me.buffer.front().key,
                         std::memory_order_relaxed);
     return true;
@@ -171,15 +178,16 @@ class StealingMultiQueue {
 
     std::vector<Entry> batch;
     {
-      std::lock_guard<SpinLock> guard(victim.buffer_lock);
+      SpinGuard guard(victim.buffer_lock);
       if (victim.buffer.empty()) return false;
       WASP_VERIFY_WR(&victim.buffer);
       batch.swap(victim.buffer);
+      // Relaxed hint update; the enclosing buffer_lock orders the swap.
       victim.buffer_min.store(kInfDist, std::memory_order_relaxed);
     }
     key = batch.front().key;
     value = batch.front().value;
-    size_.fetch_sub(1, std::memory_order_relaxed);
+    size_.fetch_sub(1, std::memory_order_relaxed);  // relaxed: stats only
     for (std::size_t i = 1; i < batch.size(); ++i)
       me.heap.push(batch[i].key, batch[i].value);
     return true;

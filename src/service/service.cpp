@@ -82,7 +82,7 @@ std::unique_ptr<Solver> QueryService::build_solver() const {
 std::shared_future<QueryResult> QueryService::submit(const Graph& g,
                                                      VertexId source,
                                                      QueryOptions opt) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (stopping_)
     throw std::logic_error("QueryService::submit: service is shut down");
   obs::MetricsShard& adm = registry_.shard(0);
@@ -269,7 +269,7 @@ QueryResult QueryService::execute(Pending& q, int wid,
       // an abnormal exit — quarantine and rebuild off this query's path.
       if (r.outcome == Outcome::kDeadlineExpired) quarantine = true;
       if (r.outcome == Outcome::kDeadlineExpired && q.opt.allow_stale) {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         auto hit = stale_.find({q.graph, q.source});
         if (hit != stale_.end()) {
           r.outcome = Outcome::kServedStale;
@@ -316,8 +316,11 @@ void QueryService::worker_main(int wid) {
   for (;;) {
     Entry e;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      // Explicit predicate loop (not the lambda overload): TSA analyzes a
+      // lambda body with no knowledge of the held capability, so the
+      // guarded reads live here, where mu_ is provably held.
+      while (!stopping_ && queue_.empty()) work_cv_.wait(lock);
       if (queue_.empty()) return;  // stopping_ and drained
       e = pop_next_locked();
       running_[static_cast<std::size_t>(wid)] = e;
@@ -338,7 +341,7 @@ void QueryService::worker_main(int wid) {
     }
 
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       running_[static_cast<std::size_t>(wid)] = nullptr;
       if (r.outcome == Outcome::kServed)
         cache_store_locked(e->graph, e->source, r.dist);
@@ -354,7 +357,7 @@ void QueryService::worker_main(int wid) {
 }
 
 void QueryService::watchdog_main() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   while (!stopping_) {
     watchdog_cv_.wait_for(lock, config_.watchdog_interval);
     if (stopping_) break;
@@ -384,7 +387,7 @@ void QueryService::watchdog_main() {
 
 void QueryService::shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stopping_) {
       // Already shut down (idempotent); fall through to the joins below,
       // which are no-ops on already-joined threads guarded by joinable().
@@ -408,7 +411,7 @@ void QueryService::shutdown() {
 }
 
 ServiceStats QueryService::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ServiceStats s;
   s.tenants = tenants_;
   for (const auto& [name, t] : s.tenants) {
@@ -436,7 +439,7 @@ ServiceStats QueryService::stats() const {
 }
 
 obs::MetricsSnapshot QueryService::metrics() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return registry_.snapshot();
 }
 

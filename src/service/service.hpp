@@ -51,6 +51,7 @@
 #include "sssp/solver.hpp"
 #include "support/cancel.hpp"
 #include "support/random.hpp"
+#include "support/thread_safety.hpp"
 
 namespace wasp::service {
 
@@ -198,35 +199,44 @@ class QueryService {
   [[nodiscard]] std::unique_ptr<Solver> build_solver() const;
   QueryResult execute(Pending& q, int wid, std::unique_ptr<Solver>& solver,
                       Xoshiro256& rng, bool& quarantine);
-  /// Picks the best queued entry (highest priority, FIFO within). mu_ held.
-  Entry pop_next_locked();
+  /// Picks the best queued entry (highest priority, FIFO within). mu_ held
+  /// (TSA-enforced via REQUIRES, like all *_locked helpers below).
+  Entry pop_next_locked() WASP_REQUIRES(mu_);
   /// Resolves a queued entry without running it (shed / expired / shutdown),
   /// downgrading to the stale cache when allowed. mu_ held.
-  void finish_unrun_locked(const Entry& e, Outcome outcome);
+  void finish_unrun_locked(const Entry& e, Outcome outcome)
+      WASP_REQUIRES(mu_);
   /// Tenant + counter accounting for a terminal outcome. mu_ held.
-  void account_locked(const std::string& tenant, Outcome outcome);
+  void account_locked(const std::string& tenant, Outcome outcome)
+      WASP_REQUIRES(mu_);
   void cache_store_locked(const Graph* g, VertexId source,
-                          const std::vector<Distance>& dist);
+                          const std::vector<Distance>& dist)
+      WASP_REQUIRES(mu_);
 
   ServiceConfig config_;
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;      ///< workers: queue or stop
-  std::condition_variable watchdog_cv_;  ///< watchdog tick / stop
-  std::deque<Entry> queue_;
-  std::vector<Entry> running_;  ///< slot per worker, null when idle
-  bool stopping_ = false;
-  std::uint64_t next_id_ = 1;
+  mutable Mutex mu_;  ///< TSA capability guarding all fields marked below
+  /// _any variants: they wait through wasp::MutexLock (BasicLockable)
+  /// because std::condition_variable demands a std::unique_lock<std::mutex>,
+  /// which TSA cannot see through.
+  std::condition_variable_any work_cv_;      ///< workers: queue or stop
+  std::condition_variable_any watchdog_cv_;  ///< watchdog tick / stop
+  std::deque<Entry> queue_ WASP_GUARDED_BY(mu_);
+  /// Slot per worker, null when idle.
+  std::vector<Entry> running_ WASP_GUARDED_BY(mu_);
+  bool stopping_ WASP_GUARDED_BY(mu_) = false;
+  std::uint64_t next_id_ WASP_GUARDED_BY(mu_) = 1;
 
   /// Shard 0: admission/watchdog paths (all writes under mu_). Shards
   /// 1..num_solvers: one per worker thread (single-writer, no lock).
   mutable obs::MetricsRegistry registry_;
-  std::map<std::string, TenantStats> tenants_;  // guarded by mu_
+  std::map<std::string, TenantStats> tenants_ WASP_GUARDED_BY(mu_);
 
-  /// Same-source stale cache, FIFO-evicted. Guarded by mu_.
+  /// Same-source stale cache, FIFO-evicted.
   std::map<std::pair<const Graph*, VertexId>,
            std::shared_ptr<const std::vector<Distance>>>
-      stale_;
-  std::deque<std::pair<const Graph*, VertexId>> stale_order_;
+      stale_ WASP_GUARDED_BY(mu_);
+  std::deque<std::pair<const Graph*, VertexId>> stale_order_
+      WASP_GUARDED_BY(mu_);
 
   std::vector<std::thread> workers_;
   std::thread watchdog_;

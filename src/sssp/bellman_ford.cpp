@@ -6,6 +6,7 @@
 #include "support/spin_barrier.hpp"
 #include "support/thread_team.hpp"
 #include "support/timer.hpp"
+#include "verify/checked_atomic.hpp"
 
 namespace wasp {
 
@@ -20,9 +21,10 @@ SsspResult bellman_ford(const Graph& g, VertexId source, RunContext& ctx) {
   SpinBarrier barrier(p);
   // Deduplicates frontier insertions within a round: a vertex improved many
   // times per round is still processed once next round.
-  std::vector<std::atomic<std::uint8_t>> in_next(g.num_vertices());
+  std::vector<verify::atomic<std::uint8_t>> in_next(g.num_vertices());
+  // Relaxed init: precedes the team launch, which publishes the vector.
   for (auto& f : in_next) f.store(0, std::memory_order_relaxed);
-  std::atomic<std::size_t> cursor{0};
+  verify::atomic<std::size_t> cursor{0};
   std::uint64_t rounds = 0;
   bool cancelled = false;  // written by tid 0 pre-barrier, read post-barrier
 
@@ -35,6 +37,8 @@ SsspResult bellman_ford(const Graph& g, VertexId source, RunContext& ctx) {
         // Cancellation point: drop unclaimed entries; the round decision
         // below makes every thread leave at the same barrier.
         if (ctx.stop_requested()) break;
+        // Relaxed ticket: the index itself is the only payload, and the
+        // frontier contents were published by the round barrier.
         const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
         if (i >= frontier.size()) break;
         const VertexId u = frontier[i];
@@ -47,6 +51,7 @@ SsspResult bellman_ford(const Graph& g, VertexId source, RunContext& ctx) {
           my.inc(CId::kRelaxations);
           if (dist.relax_to(e.dst, saturating_add(du, e.w))) {
             my.inc(CId::kUpdates);
+            // acq_rel: same dedup-flag pairing as the clear above.
             if (in_next[e.dst].exchange(1, std::memory_order_acq_rel) == 0)
               next.insert(tid, e.dst);
           }
@@ -57,6 +62,7 @@ SsspResult bellman_ford(const Graph& g, VertexId source, RunContext& ctx) {
         const std::size_t processed = frontier.size();
         const std::size_t total = next.compute_offsets();
         frontier.resize(total);
+        // Relaxed: the barrier below publishes the reset to the team.
         cursor.store(0, std::memory_order_relaxed);
         // Round-top deadline/cancel poll (tid 0 only, so all threads agree).
         cancelled = ctx.poll_cancel();

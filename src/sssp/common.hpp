@@ -49,10 +49,14 @@ class AtomicDistances {
 
   [[nodiscard]] std::size_t size() const { return n_; }
 
+  /// Relaxed: distance reads are admissibly stale — every algorithm
+  /// re-validates (stale-skip check or CAS), and cross-thread visibility of
+  /// the *final* values rides the scheduler's own edges (barriers, steals).
   [[nodiscard]] Distance load(VertexId v) const {
     return decode(dist_[v].load(std::memory_order_relaxed));
   }
 
+  /// Relaxed: pre-run seeding; the team launch publishes it.
   void store(VertexId v, Distance d) {
     dist_[v].store(pack(d), std::memory_order_relaxed);
   }
@@ -70,6 +74,10 @@ class AtomicDistances {
     std::uint64_t old = dist_[v].load(std::memory_order_relaxed);
     while (candidate < decode(old)) {
       WASP_CHAOS_YIELD(chaos::Point::kYieldBeforeCas);
+      // Release on success: an acq_rel frontier-flag exchange that reads
+      // our flag write also sees this improved distance (bellman_ford's
+      // dedup pairing). Relaxed on failure: the loop re-reads `old` and
+      // the monotone-min argument needs no ordering.
       if (dist_[v].compare_exchange_weak(old, pack(candidate),
                                          std::memory_order_release,
                                          std::memory_order_relaxed)) {
@@ -82,6 +90,7 @@ class AtomicDistances {
   }
 
   /// Copies distances out (result snapshot; call after the parallel phase).
+  /// Relaxed: called after the team joins, which orders all writes.
   [[nodiscard]] std::vector<Distance> snapshot() const {
     std::vector<Distance> out(n_);
     for (std::size_t i = 0; i < n_; ++i)
@@ -120,6 +129,7 @@ class AtomicDistances {
   [[nodiscard]] Distance decode(std::uint64_t word) const {
     return (word >> 32) == epoch_ ? static_cast<Distance>(word) : kInfDist;
   }
+  // Relaxed: sweep runs between parallel phases (no concurrent access).
   void sweep() {
     for (std::size_t i = 0; i < n_; ++i)
       dist_[i].store(pack(kInfDist), std::memory_order_relaxed);

@@ -8,6 +8,7 @@
 #include "support/spin_barrier.hpp"
 #include "support/thread_team.hpp"
 #include "support/timer.hpp"
+#include "verify/checked_atomic.hpp"
 #include "verify/scheduler.hpp"
 
 namespace wasp {
@@ -58,7 +59,7 @@ SsspResult delta_stepping(const Graph& g, VertexId source, Weight delta,
   std::vector<CachePadded<std::uint64_t>> local_offset(static_cast<std::size_t>(p));
 
   std::vector<VertexId> frontier{source};
-  std::atomic<std::size_t> cursor{0};
+  verify::atomic<std::size_t> cursor{0};
   std::uint64_t curr_bin = 0;
   std::uint64_t rounds = 0;
   bool done = false;
@@ -176,6 +177,7 @@ SsspResult delta_stepping(const Graph& g, VertexId source, Weight delta,
           total += local_size[static_cast<std::size_t>(t)].value;
         }
         frontier.resize(total);
+        // Relaxed: the barrier below publishes the reset to the team.
         cursor.store(0, std::memory_order_relaxed);
       }
       barrier.wait(tid);

@@ -7,6 +7,7 @@
 #include "support/spin_barrier.hpp"
 #include "support/thread_team.hpp"
 #include "support/timer.hpp"
+#include "verify/checked_atomic.hpp"
 
 namespace wasp {
 
@@ -40,7 +41,7 @@ SsspResult julienne_sssp(const Graph& g, VertexId source, Weight delta,
   std::vector<CachePadded<std::uint64_t>> offsets(static_cast<std::size_t>(p));
 
   std::vector<VertexId> frontier{source};
-  std::atomic<std::size_t> cursor{0};
+  verify::atomic<std::size_t> cursor{0};
   std::uint64_t base = 0;      // bucket id of open slot 0
   std::uint64_t curr_bin = 0;  // absolute bucket id being processed
   std::uint64_t rounds = 0;
@@ -77,6 +78,7 @@ SsspResult julienne_sssp(const Graph& g, VertexId source, Weight delta,
           // Cancellation point: drop unclaimed blocks; the reduce below
           // folds the token into `done` so all threads exit together.
           if (ctx.stop_requested()) break;
+          // Relaxed ticket: index-only payload; the barrier published data.
           const std::size_t blk = cursor.fetch_add(512, std::memory_order_relaxed);
           if (blk >= n) break;
           const std::size_t end = std::min<std::size_t>(blk + 512, n);
@@ -100,6 +102,7 @@ SsspResult julienne_sssp(const Graph& g, VertexId source, Weight delta,
         for (;;) {
           // Cancellation point (see the pull branch above).
           if (ctx.stop_requested()) break;
+          // Relaxed ticket (see the pull branch above).
           const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
           if (i >= frontier.size()) break;
           const VertexId u = frontier[i];
@@ -204,6 +207,7 @@ SsspResult julienne_sssp(const Graph& g, VertexId source, Weight delta,
           total += sizes[static_cast<std::size_t>(t)].value;
         }
         frontier.resize(total);
+        // Relaxed: the barrier below publishes the reset to the team.
         cursor.store(0, std::memory_order_relaxed);
       }
       barrier.wait(tid);
@@ -222,6 +226,7 @@ SsspResult julienne_sssp(const Graph& g, VertexId source, Weight delta,
           for (const VertexId v : frontier) degree_sum += g.out_degree(v);
           pull_round = degree_sum > g.num_edges() / kPullDivisor;
         }
+        // Relaxed: barrier-published reset, as above.
         cursor.store(0, std::memory_order_relaxed);
       }
       barrier.wait(tid);

@@ -7,6 +7,7 @@
 #include "support/prefetch.hpp"
 #include "support/thread_team.hpp"
 #include "support/timer.hpp"
+#include "verify/checked_atomic.hpp"
 
 namespace wasp {
 
@@ -29,7 +30,7 @@ SsspResult mq_dijkstra(const Graph& g, VertexId source, int c, int stickiness,
 
   // Threads currently holding popped work; termination needs the queue empty
   // AND nobody mid-processing (a processor may push more work).
-  std::atomic<int> busy{0};
+  verify::atomic<int> busy{0};
 
   const std::uint32_t lookahead = ctx.prefetch_lookahead;
 
@@ -46,7 +47,8 @@ SsspResult mq_dijkstra(const Graph& g, VertexId source, int c, int stickiness,
       // Raise `busy` before popping: a thread that pops the queue's last
       // element decrements the size counter after this increment, so any
       // thread observing size == 0 also observes busy > 0 and cannot
-      // terminate while work is in flight.
+      // terminate while work is in flight. acq_rel: the increment/decrement
+      // pair orders each pop's pushes before a scanner's acquire read.
       busy.fetch_add(1, std::memory_order_acq_rel);
       if (mq.try_pop(tid, d, u)) {
         // Stale check: a better path was found after this entry was pushed.
@@ -79,14 +81,17 @@ SsspResult mq_dijkstra(const Graph& g, VertexId source, int c, int stickiness,
             my.inc(CId::kPrefetchIssued, deg - lookahead);
         }
         mq.flush(tid);
+        // acq_rel: the flushed pushes are ordered before this drop, so a
+        // scanner reading busy == 0 (acquire) also sees the new entries.
         busy.fetch_sub(1, std::memory_order_acq_rel);
         continue;
       }
-      busy.fetch_sub(1, std::memory_order_acq_rel);
+      busy.fetch_sub(1, std::memory_order_acq_rel);  // acq_rel: as above
       my.inc(CId::kTerminationScans);
       // Idle scans also check the deadline (a starved thread may otherwise
       // only spin on the flag while peers keep the queue non-empty).
       (void)ctx.poll_cancel();
+      // Acquire: pairs with the acq_rel drops so in-flight pushes are seen.
       if (mq.size_estimate() == 0 && busy.load(std::memory_order_acquire) == 0) {
         if (ctx.observer != nullptr) ctx.observer->on_termination(tid);
         break;

@@ -10,6 +10,7 @@
 #include "support/padded.hpp"
 #include "support/thread_team.hpp"
 #include "support/timer.hpp"
+#include "verify/checked_atomic.hpp"
 
 namespace wasp {
 
@@ -31,21 +32,29 @@ class GlobalBags {
     {
       std::shared_lock<std::shared_mutex> structure(resize_mutex_);
       Level& slot = *levels_[level];
-      std::lock_guard<SpinLock> guard(slot.lock);
+      SpinGuard guard(slot.lock);
       slot.chunks.push_back(std::move(chunk));
+      // Release: count is read lock-free by best_level()'s acquire scan —
+      // a reader that sees count > 0 must also see a poppable chunk vector
+      // (finalized by the SpinLock release, but the scan takes no lock).
       slot.count.fetch_add(1, std::memory_order_release);
     }
     // Lower the hint if this level is better than the recorded minimum.
+    // acq_rel on success pairs with best_level()'s acquire load; acquire on
+    // failure so the retry loop re-observes `seen` coherently.
     std::uint64_t seen = min_hint_.load(std::memory_order_relaxed);
     while (level < seen &&
            !min_hint_.compare_exchange_weak(seen, level,
-                                            std::memory_order_acq_rel)) {
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire)) {
     }
   }
 
   /// Smallest level that currently appears non-empty (kInfLevel when none).
   std::uint64_t best_level() {
     std::shared_lock<std::shared_mutex> structure(resize_mutex_);
+    // Acquire pair of push_chunk's releases: the hint and per-level counts
+    // are scanned lock-free; see the count comment above.
     const std::uint64_t start = min_hint_.load(std::memory_order_acquire);
     for (std::uint64_t l = start; l < levels_.size(); ++l) {
       if (levels_[l]->count.load(std::memory_order_acquire) > 0) return l;
@@ -58,10 +67,12 @@ class GlobalBags {
     std::shared_lock<std::shared_mutex> structure(resize_mutex_);
     if (level >= levels_.size()) return nullptr;
     Level& slot = *levels_[level];
-    std::lock_guard<SpinLock> guard(slot.lock);
+    SpinGuard guard(slot.lock);
     if (slot.chunks.empty()) return nullptr;
     ChunkPtr chunk = std::move(slot.chunks.back());
     slot.chunks.pop_back();
+    // Release: keeps the count's decrement ordered after the pop for the
+    // lock-free scan (same pairing as push_chunk).
     slot.count.fetch_sub(1, std::memory_order_release);
     return chunk;
   }
@@ -69,8 +80,8 @@ class GlobalBags {
  private:
   struct Level {
     SpinLock lock;
-    std::vector<ChunkPtr> chunks;
-    std::atomic<std::int64_t> count{0};
+    std::vector<ChunkPtr> chunks WASP_GUARDED_BY(lock);
+    verify::atomic<std::int64_t> count{0};  // lock-free scan shadow
   };
 
   void ensure_level(std::uint64_t level) {
@@ -86,7 +97,7 @@ class GlobalBags {
 
   std::shared_mutex resize_mutex_;
   std::vector<std::unique_ptr<Level>> levels_;
-  std::atomic<std::uint64_t> min_hint_{0};
+  verify::atomic<std::uint64_t> min_hint_{0};
 };
 
 /// Thread-local per-level fill chunks with a min-level hint.
@@ -126,11 +137,12 @@ SsspResult obim_sssp(const Graph& g, VertexId source, Weight delta,
 
   GlobalBags global;
   // Vertices in the system (local bags + global bags + being processed).
-  std::atomic<std::int64_t> pending{0};
+  verify::atomic<std::int64_t> pending{0};
 
   {
     auto seed_chunk = std::make_unique<ObimChunk>();
     seed_chunk->push_back(source);
+    // Relaxed: pre-run seeding; the team launch publishes it.
     pending.store(1, std::memory_order_relaxed);
     global.push_chunk(0, std::move(seed_chunk));
   }
@@ -146,6 +158,9 @@ SsspResult obim_sssp(const Graph& g, VertexId source, Weight delta,
       const std::uint64_t level = static_cast<std::uint64_t>(nd) / delta;
       ObimChunk* chunk = local.at(level);
       chunk->push_back(v);
+      // acq_rel: raising pending before the vertex becomes poppable pairs
+      // with the scan's acquire — a scanner seeing pending == 0 cannot have
+      // missed an in-flight vertex.
       pending.fetch_add(1, std::memory_order_acq_rel);
       local.min_hint = std::min(local.min_hint, level);
       if (chunk->size() >= chunk_size) {
@@ -180,6 +195,8 @@ SsspResult obim_sssp(const Graph& g, VertexId source, Weight delta,
           }
         }
       }
+      // acq_rel: the drop is ordered after this vertex's pushes, so the
+      // termination scan's acquire read cannot see 0 early.
       pending.fetch_sub(1, std::memory_order_acq_rel);
     };
 
@@ -206,6 +223,7 @@ SsspResult obim_sssp(const Graph& g, VertexId source, Weight delta,
         my.inc(CId::kTerminationScans);
         // Idle scans also check the deadline (see mq_dijkstra).
         (void)ctx.poll_cancel();
+        // Acquire: pairs with the acq_rel pending updates above.
         if (pending.load(std::memory_order_acquire) == 0) {
           if (ctx.observer != nullptr) ctx.observer->on_termination(tid);
           break;

@@ -7,6 +7,7 @@
 #include "support/prefetch.hpp"
 #include "support/thread_team.hpp"
 #include "support/timer.hpp"
+#include "verify/checked_atomic.hpp"
 
 namespace wasp {
 
@@ -24,7 +25,7 @@ SsspResult smq_dijkstra(const Graph& g, VertexId source, int steal_batch,
   StealingMultiQueue smq(config);
   smq.push(0, 0, source);
 
-  std::atomic<int> busy{0};
+  verify::atomic<int> busy{0};
   const std::uint32_t lookahead = ctx.prefetch_lookahead;
 
   Timer timer;
@@ -70,13 +71,16 @@ SsspResult smq_dijkstra(const Graph& g, VertexId source, int steal_batch,
           if (lookahead != 0 && deg > lookahead)
             my.inc(CId::kPrefetchIssued, deg - lookahead);
         }
+        // acq_rel: orders this pop's pushes before the drop, so a scanner
+        // reading busy == 0 (acquire) also sees the new entries.
         busy.fetch_sub(1, std::memory_order_acq_rel);
         continue;
       }
-      busy.fetch_sub(1, std::memory_order_acq_rel);
+      busy.fetch_sub(1, std::memory_order_acq_rel);  // acq_rel: as above
       my.inc(CId::kTerminationScans);
       // Idle scans also check the deadline (see mq_dijkstra).
       (void)ctx.poll_cancel();
+      // Acquire: pairs with the acq_rel drops so in-flight pushes are seen.
       if (smq.size_estimate() == 0 && busy.load(std::memory_order_acquire) == 0) {
         if (ctx.observer != nullptr) ctx.observer->on_termination(tid);
         break;

@@ -37,6 +37,8 @@ SsspResult Solver::solve(const Graph& g, VertexId source) {
   }
   struct BusyGuard {
     verify::atomic<std::uint32_t>& flag;
+    // Release: publishes this solve's state to the next solve's acquire
+    // exchange on busy_ (the reuse guard above).
     ~BusyGuard() { flag.store(0, std::memory_order_release); }
   } guard{busy_};
   RunContext ctx{team_, metrics_,

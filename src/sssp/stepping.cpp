@@ -12,6 +12,7 @@
 #include "support/spin_barrier.hpp"
 #include "support/thread_team.hpp"
 #include "support/timer.hpp"
+#include "verify/checked_atomic.hpp"
 #include "verify/scheduler.hpp"
 
 namespace wasp {
@@ -76,12 +77,13 @@ SsspResult stepping_sssp(const Graph& g, VertexId source, SteppingKind kind,
   std::vector<CachePadded<Distance>> local_min(static_cast<std::size_t>(p));
   std::vector<CachePadded<Distance>> local_rmin(static_cast<std::size_t>(p));
   FrontierBag bag(p);
-  std::vector<std::atomic<std::uint8_t>> in_frontier(n);
+  std::vector<verify::atomic<std::uint8_t>> in_frontier(n);
+  // Relaxed init: precedes the team launch, which publishes the vector.
   for (auto& f : in_frontier) f.store(0, std::memory_order_relaxed);
 
   std::vector<VertexId> frontier{source};
-  in_frontier[source].store(1, std::memory_order_relaxed);
-  std::atomic<std::size_t> cursor{0};
+  in_frontier[source].store(1, std::memory_order_relaxed);  // pre-run, as above
+  verify::atomic<std::size_t> cursor{0};
   SpinBarrier barrier(p);
   Distance threshold = kInfDist;
   Distance settled_bound = 0;  // everything below this is final
@@ -91,6 +93,8 @@ SsspResult stepping_sssp(const Graph& g, VertexId source, SteppingKind kind,
   Xoshiro256 sample_rng(0x5a11e57ULL);
 
   // Inserts v into the next frontier unless it is already pending.
+  // acq_rel dedup flag: pairs with relax_to's release so whoever wins the
+  // flag also sees the improved distance (same pairing as bellman_ford).
   const auto enqueue = [&](int tid, VertexId v) {
     if (in_frontier[v].exchange(1, std::memory_order_acq_rel) == 0)
       bag.insert(tid, v);
@@ -174,6 +178,7 @@ SsspResult stepping_sssp(const Graph& g, VertexId source, SteppingKind kind,
           for (const VertexId v : frontier) degree_sum += g.out_degree(v);
           pull_round = degree_sum > g.num_edges() / kPullDivisor;
         }
+        // Relaxed: the barrier below publishes the reset to the team.
         cursor.store(0, std::memory_order_relaxed);
       }
       barrier.wait(tid);
@@ -213,12 +218,14 @@ SsspResult stepping_sssp(const Graph& g, VertexId source, SteppingKind kind,
                 next_seq.push_back(u);
                 continue;
               }
+              // acq_rel: dedup-flag pairing, see enqueue above.
               in_frontier[u].exchange(0, std::memory_order_acq_rel);
               my.inc(CId::kVerticesProcessed);
               for (const WEdge& e : g.out_neighbors(u)) {
                 my.inc(CId::kRelaxations);
                 if (dist.relax_to(e.dst, saturating_add(du, e.w))) {
                   my.inc(CId::kUpdates);
+                  // acq_rel: dedup-flag pairing, see enqueue above.
                   if (in_frontier[e.dst].exchange(1, std::memory_order_acq_rel) == 0)
                     next_seq.push_back(e.dst);
                 }
@@ -242,17 +249,20 @@ SsspResult stepping_sssp(const Graph& g, VertexId source, SteppingKind kind,
           const std::size_t hi = std::min(i + 64, frontier.size());
           for (std::size_t k = i; k < hi; ++k) {
             const VertexId u = frontier[k];
+            // acq_rel: dedup-flag pairing, see enqueue above.
             in_frontier[u].exchange(0, std::memory_order_acq_rel);
             if (dist.load(u) > threshold) enqueue(tid, u);
           }
         }
         barrier.wait(tid);
+        // Relaxed: bracketed by barriers, which publish the reset.
         if (tid == 0) cursor.store(0, std::memory_order_relaxed);
         barrier.wait(tid);
         // Pull into every vertex that is not yet settled.
         for (;;) {
           // Cancellation point (see the defer loop above).
           if (ctx.stop_requested()) break;
+          // Relaxed ticket: index-only payload; the barrier published data.
           const std::size_t blk = cursor.fetch_add(512, std::memory_order_relaxed);
           if (blk >= n) break;
           const std::size_t end = std::min<std::size_t>(blk + 512, n);
@@ -276,9 +286,11 @@ SsspResult stepping_sssp(const Graph& g, VertexId source, SteppingKind kind,
         for (;;) {
           // Cancellation point (see the defer loop above).
           if (ctx.stop_requested()) break;
+          // Relaxed ticket: index-only payload; the barrier published data.
           const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
           if (i >= frontier.size()) break;
           const VertexId u = frontier[i];
+          // acq_rel: dedup-flag pairing, see enqueue above.
           in_frontier[u].exchange(0, std::memory_order_acq_rel);
           const Distance du = dist.load(u);
           if (du > threshold) {
@@ -295,6 +307,7 @@ SsspResult stepping_sssp(const Graph& g, VertexId source, SteppingKind kind,
         const std::size_t processed = frontier.size();
         const std::size_t total = bag.compute_offsets();
         frontier.resize(total);
+        // Relaxed: the barrier below publishes the reset to the team.
         cursor.store(0, std::memory_order_relaxed);
         // Round-top deadline/cancel poll (tid 0 only, so all threads agree).
         done = total == 0 || ctx.poll_cancel();

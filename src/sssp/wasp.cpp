@@ -9,6 +9,7 @@
 #include "concurrent/chase_lev_deque.hpp"
 #include "concurrent/chunk.hpp"
 #include "graph/algorithms.hpp"
+#include "sssp/curr_board.hpp"
 #include "support/errors.hpp"
 #include "support/padded.hpp"
 #include "support/prefetch.hpp"
@@ -77,7 +78,7 @@ struct WaspShared {
   const WaspConfig& config;
   RunContext& ctx;  ///< metrics shards, trace recorder, observer
   const std::vector<std::uint8_t>* leaf;  // null when leaf pruning is off
-  std::vector<CachePadded<verify::atomic<std::uint64_t>>> curr;
+  CurrBoard curr;  ///< per-worker published levels (sssp/curr_board.hpp)
   std::vector<std::unique_ptr<ChaseLevDeque<ChunkT*>>> deques;
   VictimTiers tiers;
   BasicChunkArena<ChunkT> arena;
@@ -91,9 +92,7 @@ struct WaspShared {
              const std::vector<std::uint8_t>* leaf_, int p,
              const NumaTopology& topo, const std::vector<int>& cpu_of)
       : graph(g), dist(d), delta(delta_), config(cfg), ctx(ctx_), leaf(leaf_),
-        curr(static_cast<std::size_t>(p)), deques(static_cast<std::size_t>(p)),
-        tiers(topo, cpu_of) {
-    for (auto& c : curr) c.value.store(kInfPriority, std::memory_order_relaxed);
+        curr(p), deques(static_cast<std::size_t>(p)), tiers(topo, cpu_of) {
     for (auto& d_ : deques) d_ = std::make_unique<ChaseLevDeque<ChunkT*>>();
   }
 };
@@ -166,8 +165,7 @@ class WaspWorker {
     // Chaos: widen the window between deciding a level and publishing it —
     // the interval the kStealingPriority state exists to protect.
     WASP_CHAOS_YIELD(chaos::Point::kDelayCurrPublish);
-    s_.curr[static_cast<std::size_t>(tid_)].value.store(
-        level, std::memory_order_release);
+    s_.curr.publish(tid_, level);  // release (curr_board.hpp)
   }
 
   /// Pops one vertex from the buffer chunk, refilling it from the deque
@@ -417,9 +415,7 @@ class WaspWorker {
         my_.inc(CId::kStealAttempts);
         obs::trace_instant(s_.ctx.trace, tid_, EK::kStealAttempt,
                            static_cast<std::uint64_t>(t));
-        const std::uint64_t victim_curr =
-            s_.curr[static_cast<std::size_t>(t)].value.load(
-                std::memory_order_acquire);
+        const std::uint64_t victim_curr = s_.curr.probe(t);  // acquire
         if (victim_curr > next) {
           notify_steal(t, false);
           continue;
@@ -479,10 +475,8 @@ class WaspWorker {
       if (a >= tid_) ++a;
       int b = static_cast<int>(rng_.next_below(static_cast<std::uint64_t>(p - 1)));
       if (b >= tid_) ++b;
-      const std::uint64_t ca =
-          s_.curr[static_cast<std::size_t>(a)].value.load(std::memory_order_acquire);
-      const std::uint64_t cb =
-          s_.curr[static_cast<std::size_t>(b)].value.load(std::memory_order_acquire);
+      const std::uint64_t ca = s_.curr.probe(a);  // acquire (curr_board.hpp)
+      const std::uint64_t cb = s_.curr.probe(b);  // acquire (curr_board.hpp)
       const int t = ca <= cb ? a : b;
       my_.inc(CId::kStealAttempts);
       obs::trace_instant(s_.ctx.trace, tid_, EK::kStealAttempt,
@@ -524,6 +518,9 @@ class WaspWorker {
         return true;
       }
       if (sweep) {
+        // acq_rel: the epoch bump orders this sweep's steal between the
+        // double-scan's acquire reads (below), invalidating any scan that
+        // it raced with.
         s_.steal_epoch.fetch_add(1, std::memory_order_acq_rel);
         publish_curr(kStealingPriority);
         if (try_steal_and_process(kInfPriority)) {
@@ -535,16 +532,18 @@ class WaspWorker {
 
       my_.inc(CId::kTerminationScans);
       Timer idle_timer;
+      // Acquire epoch reads bracket the scan: any sweep-steal that bumps
+      // the epoch between them invalidates this scan (§4.3 double-scan).
       const std::uint64_t epoch_before =
           s_.steal_epoch.load(std::memory_order_acquire);
       bool all_idle = true;
       bool someone_working = false;
       for (int t = 0; t < p; ++t) {
-        const std::uint64_t c = s_.curr[static_cast<std::size_t>(t)].value.load(
-            std::memory_order_acquire);
+        const std::uint64_t c = s_.curr.scan(t);  // acquire (curr_board.hpp)
         if (c != kInfPriority) all_idle = false;
         if (c < kStealingPriority) someone_working = true;
       }
+      // Acquire: closes the double-scan bracket (see epoch_before).
       const std::uint64_t epoch_after =
           s_.steal_epoch.load(std::memory_order_acquire);
 
@@ -626,8 +625,9 @@ SsspResult wasp_sssp_impl(const Graph& g, VertexId source, Weight delta,
                             config.leaf_pruning ? &leaf_bitmap : nullptr, p,
                             *topo, cpu_of);
   // Pre-publish worker 0 as busy at level 0 so no other worker can pass the
-  // termination check before the source is seeded.
-  shared.curr[0].value.store(0, std::memory_order_release);
+  // termination check before the source is seeded (same release site as
+  // every in-run publication — the board owns the ordering).
+  shared.curr.publish(0, 0);
 
   chaos::Engine* chaos = config.chaos != nullptr ? config.chaos : ctx.chaos;
   Timer timer;

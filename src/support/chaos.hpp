@@ -143,6 +143,8 @@ struct Binding {
 // (the guard's lazy-init store is what UBSan would otherwise flag, and the
 // wrapper call would tax every injection-point visit).
 inline constinit thread_local Binding tls_binding{};
+// lint:allow(raw-atomic): chaos sits below the verify model; an instrumented
+// kill switch would recurse into the session from inside its own hooks.
 inline constinit std::atomic<bool> g_enabled{true};  // watchdog kill switch
 }  // namespace detail
 
@@ -174,6 +176,8 @@ void enable_all();
 inline bool fire(Point p) {
   detail::Binding& b = detail::tls_binding;
   if (b.engine == nullptr) return false;
+  // Relaxed: the kill switch is advisory — observing it late only lets one
+  // more harmless injection through (see disable_all in chaos.cpp).
   if (!detail::g_enabled.load(std::memory_order_relaxed)) return false;
   return b.engine->fire(b.tid, p);
 }
@@ -186,6 +190,7 @@ inline void maybe_yield(Point p) {
 /// True when an engine is installed on this thread (and not globally
 /// disabled) — lets code skip setup work for chaos-only paths.
 inline bool active() {
+  // Relaxed: same advisory kill-switch read as fire().
   return detail::tls_binding.engine != nullptr &&
          detail::g_enabled.load(std::memory_order_relaxed);
 }

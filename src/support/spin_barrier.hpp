@@ -32,6 +32,12 @@ class SpinBarrier {
   /// only used to attribute wait time.
   void wait(int tid) {
     Timer t;
+    // Sense-reversing barrier. The relaxed sense read is private pacing
+    // state (only this thread compares against it); the acq_rel arrival
+    // fetch_add makes every participant's pre-barrier writes visible to the
+    // last arriver, whose release sense_ flip then publishes the whole
+    // round to the acquire spin loops below. arrived_ resets relaxed: only
+    // the flipper touches it between rounds.
     const bool my_sense = !sense_.load(std::memory_order_relaxed);
     if (arrived_.fetch_add(1, std::memory_order_acq_rel) == num_threads_ - 1) {
       arrived_.store(0, std::memory_order_relaxed);

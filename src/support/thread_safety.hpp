@@ -1,0 +1,98 @@
+// Clang Thread Safety Analysis (TSA) annotations and an annotated mutex.
+//
+// TSA is a static lock-discipline checker built into clang
+// (-Wthread-safety): it proves, per translation unit, that every read or
+// write of a GUARDED_BY field happens with the named capability held, and
+// that REQUIRES contracts on `_locked` helpers are honored at every call
+// site. It complements the dynamic verify:: model — verify catches ordering
+// bugs the schedule happens to expose; TSA catches *forgotten locks*
+// everywhere, including paths no test runs.
+//
+// libstdc++'s std::mutex is not annotated, so TSA cannot see through
+// std::lock_guard/std::unique_lock. We therefore provide:
+//   * wasp::Mutex      — std::mutex wrapper declared as a TSA CAPABILITY,
+//   * wasp::MutexLock  — scoped guard (SCOPED_CAPABILITY) that also
+//                        satisfies BasicLockable, so it works with
+//                        std::condition_variable_any::wait(lock).
+//
+// Under any non-clang compiler (or clang without the attribute) every macro
+// expands to nothing and Mutex/MutexLock behave exactly like
+// std::mutex/std::unique_lock — zero semantic or performance change.
+// The analysis itself is run by the `clang-tsa` CMake preset and the
+// tools/lint/tsa_check.py negative test (see docs/CONCURRENCY.md).
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define WASP_TSA(x) __attribute__((x))
+#endif
+#endif
+#ifndef WASP_TSA
+#define WASP_TSA(x)  // expands to nothing outside clang
+#endif
+
+#define WASP_CAPABILITY(x) WASP_TSA(capability(x))
+#define WASP_SCOPED_CAPABILITY WASP_TSA(scoped_lockable)
+#define WASP_GUARDED_BY(x) WASP_TSA(guarded_by(x))
+#define WASP_PT_GUARDED_BY(x) WASP_TSA(pt_guarded_by(x))
+#define WASP_REQUIRES(...) WASP_TSA(requires_capability(__VA_ARGS__))
+#define WASP_ACQUIRE(...) WASP_TSA(acquire_capability(__VA_ARGS__))
+#define WASP_RELEASE(...) WASP_TSA(release_capability(__VA_ARGS__))
+#define WASP_TRY_ACQUIRE(...) WASP_TSA(try_acquire_capability(__VA_ARGS__))
+#define WASP_EXCLUDES(...) WASP_TSA(locks_excluded(__VA_ARGS__))
+#define WASP_RETURN_CAPABILITY(x) WASP_TSA(lock_returned(x))
+#define WASP_NO_THREAD_SAFETY_ANALYSIS WASP_TSA(no_thread_safety_analysis)
+
+namespace wasp {
+
+/// std::mutex with the TSA capability attribute, so GUARDED_BY(mu_) fields
+/// are statically checked under clang.
+class WASP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() WASP_ACQUIRE() { mu_.lock(); }
+  void unlock() WASP_RELEASE() { mu_.unlock(); }
+  bool try_lock() WASP_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Scoped lock for Mutex. Also BasicLockable (lock/unlock), which is what
+/// std::condition_variable_any::wait(lock) needs — the cv releases and
+/// re-acquires through these, so the capability is held again when wait
+/// returns. (TSA does not model the transient release inside wait; the
+/// predicate re-check loop around every wait keeps that sound.)
+class WASP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) WASP_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() WASP_RELEASE() {
+    if (held_) mu_.unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  // BasicLockable, for condition_variable_any. NO_THREAD_SAFETY_ANALYSIS:
+  // the cv calls these through a template with no attribute context; from
+  // TSA's view the capability never left, which matches how callers reason.
+  void lock() WASP_NO_THREAD_SAFETY_ANALYSIS {
+    mu_.lock();
+    held_ = true;
+  }
+  void unlock() WASP_NO_THREAD_SAFETY_ANALYSIS {
+    held_ = false;
+    mu_.unlock();
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_ = true;
+};
+
+}  // namespace wasp

@@ -101,9 +101,14 @@ void ThreadTeam::parallel_for(
     body(begin, end);
     return;
   }
+  // lint:allow(raw-atomic): pure work-distribution counter on the
+  // parallel_for hot path; run()'s launch/join edges order everything it
+  // hands out, and instrumenting it would swamp the model with ticket
+  // traffic on every loop in every algorithm.
   std::atomic<std::uint64_t> next{begin};
   run([&](int /*tid*/) {
     for (;;) {
+      // relaxed: the ticket value itself carries no payload; see allow above.
       const std::uint64_t lo = next.fetch_add(grain, std::memory_order_relaxed);
       if (lo >= end) break;
       body(lo, std::min(lo + grain, end));

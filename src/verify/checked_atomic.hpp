@@ -23,7 +23,20 @@
 //    S-position, seq_cst loads may not read past the newest S-store, and a
 //    load after a seq_cst fence may not read past the newest S-store that
 //    precedes the fence in S. This makes seq_cst -> acq_rel weakenings on
-//    store/RMW sites observable as value-level staleness (CLD-12/CLD-19).
+//    store/RMW sites observable as value-level staleness (the deque's
+//    last-element CAS mutants CLD-86f63b/CLD-c4227a).
+//    seq_cst *fences* get pure C11 S-membership semantics (no sc_clock
+//    join): they floor values but never create happens-before by
+//    themselves. With Session::Options::sc_reorder_window > 0 the floors
+//    themselves are searched over admissible alternative choices of S
+//    (see context.hpp).
+//
+// Plain (non-atomic) cells go through two tiers of instrumentation: the
+// WASP_VERIFY_RD/WR macros race-check an access, and the
+// plain_load/plain_store wrappers below additionally value-model the cell —
+// a read missing its happens-before edge can return an admissible stale
+// value from the cell's recorded history, so a broken publication protocol
+// corrupts data in the simulation instead of only flagging a race.
 //
 // Every model store writes through to the underlying std::atomic, so
 // unbound threads (and code running after the session ends) always see the
@@ -38,6 +51,7 @@
 
 #if defined(WASP_VERIFY_ENABLED) && WASP_VERIFY_ENABLED
 #include <algorithm>
+#include <cstring>
 #include <mutex>
 #include <vector>
 
@@ -50,7 +64,8 @@ namespace wasp::verify {
 // TSan does not model fences and GCC warns (fatally, under WASP_WERROR)
 // about every atomic_thread_fence in a -fsanitize=thread TU. The fences
 // here order same-variable accesses whose surrounding seq_cst ops already
-// give TSan a visible edge (see docs/CONCURRENCY.md, CLD-9/CLD-16), so the
+// give TSan a visible edge (see docs/CONCURRENCY.md, the deque's seq_cst
+// fence pair CLD-5f7729/CLD-18faf2), so the
 // known TSan blind spot is accepted and the warning silenced at this one
 // choke point rather than at every call site.
 inline void raw_thread_fence(std::memory_order order) noexcept {
@@ -197,6 +212,14 @@ class atomic {
     std::vector<Store> hist;   ///< back() = latest in modification order
     std::uint64_t base = 0;    ///< absolute index of hist[0]
     std::array<std::uint64_t, kMaxVerifyThreads> last_read{};
+    // C11/C++11 release-sequence head (pre-P0982, the semantics this model
+    // targets): a release store heads a sequence that continues through
+    // *same-thread* stores and any-thread RMWs, and is broken by another
+    // thread's plain store. rel_head accumulates the head clocks of the
+    // current unbroken sequence so a continuing store can carry them.
+    VectorClock rel_head;
+    int rel_head_tid = -1;      ///< thread owning the current sequence
+    bool has_rel_head = false;
   };
 
   static bool is_release(std::memory_order o) {
@@ -254,12 +277,23 @@ class atomic {
                                       ? ~std::uint64_t{0}
                                       : st.sc_fence_time;
     if (horizon != 0) {
+      // Anchor the horizon in S: this load's floor-skips assume the
+      // slot-order position of its fence, so exploration may no longer
+      // slide earlier publishers past it (see Session::sc_note_horizon).
+      if (horizon != ~std::uint64_t{0}) s->sc_note_horizon(horizon);
       for (std::size_t i = n; i-- > 0;) {
         const Store& sto = m.hist[i];
         std::uint64_t published = sto.sc_time;
         if (published == 0 && sto.epoch != 0)
           published = s->sc_publish_time(sto.tid, sto.epoch);
-        if (published != 0 && published < horizon) {
+        if (published != 0 && s->sc_before(published, horizon)) {
+          // SC exploration (Options::sc_reorder_window): a floor may be
+          // dropped when some admissible S slides this publisher past the
+          // reader's horizon — an older publisher can still floor, so keep
+          // scanning instead of breaking.
+          if (!s->sc_floor_is_firm(tid, static_cast<const void*>(this),
+                                   published, horizon))
+            continue;
           lo_abs = std::max(lo_abs, m.base + i);
           break;
         }
@@ -297,10 +331,16 @@ class atomic {
                     int tid, T v, bool release, bool rmw, bool sc) {
     const std::uint32_t epoch = s->bump_epoch(tid);
     Store sto{v, VectorClock{}, false, tid, epoch};
-    if (sc) sto.sc_time = s->next_sc_time();
+    if (sc)
+      sto.sc_time = s->take_sc_slot(tid, static_cast<const void*>(this));
     if (release) {
       sto.rel = st.clock;
       sto.has_rel = true;
+      // Heads a release sequence (C++11 rules; same-thread clocks are
+      // monotone, so overwriting ⊇ joining the previous same-thread head).
+      m.rel_head = st.clock;
+      m.rel_head_tid = tid;
+      m.has_rel_head = true;
     } else if (st.has_pending_release) {
       sto.rel = st.pending_release;
       sto.has_rel = true;
@@ -308,6 +348,16 @@ class atomic {
     if (rmw && m.hist.back().has_rel) {
       sto.rel.join(m.hist.back().rel);  // release-sequence continuation
       sto.has_rel = true;
+    }
+    if (!release && !rmw) {
+      if (m.has_rel_head && m.rel_head_tid == tid) {
+        // C++11 [intro.races]: a store by the sequence's own thread
+        // continues it — readers of this store synchronize with the head.
+        sto.rel.join(m.rel_head);
+        sto.has_rel = true;
+      } else if (m.rel_head_tid != tid) {
+        m.has_rel_head = false;  // another thread's plain store breaks it
+      }
     }
     m.hist.push_back(sto);
     m.last_read[static_cast<std::size_t>(tid)] = m.base + m.hist.size() - 1;
@@ -365,6 +415,48 @@ inline void thread_fence(
   raw_thread_fence(order);
 }
 
+/// Value-modeled read of a plain (non-atomic) cell: race-checked like
+/// WASP_VERIFY_RD, and the returned value may be any admissible stale
+/// recorded store when the reader lacks the happens-before edge (see
+/// Session::on_plain_read_value). Unbound threads read the live value.
+template <typename T>
+[[nodiscard]] T plain_load(
+    const T& cell, std::source_location loc = std::source_location::current()) {
+  static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8,
+                "plain_load models word-sized trivially copyable cells");
+  int tid;
+  Session* s = Session::bound(tid);
+  if (s == nullptr) return cell;
+  schedule_point(tid);
+  std::uint64_t fresh = 0;
+  std::memcpy(&fresh, &cell, sizeof(T));
+  const std::uint64_t bits = s->on_plain_read_value(
+      tid, static_cast<const void*>(&cell), site_of(loc), fresh);
+  T out{};
+  std::memcpy(&out, &bits, sizeof(T));
+  return out;
+}
+
+/// Value-modeled write of a plain cell: race-checked like WASP_VERIFY_WR,
+/// recorded in the cell's store history, and written through.
+template <typename T>
+void plain_store(T& cell, T v,
+                 std::source_location loc = std::source_location::current()) {
+  static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8,
+                "plain_store models word-sized trivially copyable cells");
+  int tid;
+  if (Session* s = Session::bound(tid)) {
+    schedule_point(tid);
+    std::uint64_t old_bits = 0;
+    std::uint64_t new_bits = 0;
+    std::memcpy(&old_bits, &cell, sizeof(T));
+    std::memcpy(&new_bits, &v, sizeof(T));
+    s->on_plain_write_value(tid, static_cast<const void*>(&cell),
+                            site_of(loc), old_bits, new_bits);
+  }
+  cell = v;  // write-through: unbound readers always see the live value
+}
+
 #else  // !WASP_VERIFY_ENABLED ------------------------------------------------
 
 /// Zero-cost passthrough: identical layout and codegen to std::atomic<T>.
@@ -406,6 +498,17 @@ class atomic {
 
 inline void thread_fence(std::memory_order order) {
   raw_thread_fence(order);
+}
+
+/// Zero-cost passthroughs for the plain-cell value-model entry points.
+template <typename T>
+[[nodiscard]] T plain_load(const T& cell) {
+  return cell;
+}
+
+template <typename T>
+void plain_store(T& cell, T v) {
+  cell = v;
 }
 
 #endif  // WASP_VERIFY_ENABLED

@@ -4,10 +4,13 @@
 // (see checked_atomic.hpp) issued by a bound thread:
 //
 //  * Each bound thread carries a vector clock; release stores snapshot it,
-//    acquire loads join it, fences arm pending release/acquire clocks per
-//    the C11 fence rules, and a global SC clock approximates the total order
-//    over seq_cst operations (strictly stronger than C11's S order, so the
-//    model never reports a behavior C11 forbids).
+//    acquire loads join it, and fences arm pending release/acquire clocks
+//    per the C11 fence rules. seq_cst *operations* additionally synchronize
+//    through a global SC clock (a sound strengthening of C11's S order);
+//    seq_cst *fences* deliberately do not — they get pure S-membership
+//    semantics (a slot in S plus the fence-publication value floors below),
+//    which is exactly what C11 grants them. Two seq_cst fences alone do not
+//    create happens-before without an atomic mediator.
 //  * Each checked atomic keeps a bounded history of stores. A load may
 //    return any store not superseded by one the loading thread already
 //    "knows" (per its clock) — a seeded PRNG picks among the admissible
@@ -17,10 +20,23 @@
 //    the linearizability harness observes the resulting lost/duplicated
 //    elements. RMW operations always read the latest store (C11 atomicity)
 //    and continue release sequences.
+//  * The SC total order S defaults to the execution order of seq_cst events
+//    under the model lock — one admissible choice of S. With
+//    Options::sc_reorder_window > 0 the session *searches* over admissible
+//    alternatives: each seq_cst freshness window is re-validated against
+//    seeded local reorderings of the recent S suffix (bounded by the
+//    window), dropping a value floor only when moving the publishing event
+//    past the reader's horizon violates neither happens-before nor
+//    same-object coherence — i.e. only when some valid S admits the stale
+//    read. Replayable via the session seed (WASP_VERIFY_SEED).
 //  * Plain (non-atomic) cells annotated with WASP_VERIFY_RD/WR are checked
 //    for data races: an access that is not ordered after the previous
 //    conflicting access by happens-before is reported with both sites
-//    (file:line, thread, epoch).
+//    (file:line, thread, epoch). Cells accessed through
+//    verify::plain_load/plain_store are additionally *value-modeled*: a
+//    read may return any admissible stale value from the cell's recorded
+//    store history (same clock/coherence floors as atomics), so a missing
+//    hb edge shows up as wrong data, not just a race verdict.
 //
 // Sessions are scoped and exclusive (one at a time, enforced). Threads bind
 // with ScopedBind, mirroring chaos::ScopedInstall; unbound threads fall
@@ -29,8 +45,10 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <mutex>
 #include <source_location>
 #include <string>
@@ -64,6 +82,13 @@ class Session {
     int history_window = 12;       ///< per-object store history bound
     std::uint16_t stale_rate = 32768;  ///< P(prefer stale)/65536 per load
     std::size_t max_diagnostics = 64;
+    /// SC-order exploration: how many positions a seq_cst event may slide
+    /// past a reader's horizon when re-validating a freshness window under
+    /// an alternative admissible S (0 = S pinned to model-lock order, the
+    /// historical behavior). Sliding is refused when the interval contains
+    /// an event ordered after the publisher by happens-before or a seq_cst
+    /// access to the same object, so every drop corresponds to a valid S.
+    int sc_reorder_window = 0;
   };
 
   explicit Session(const Options& options);
@@ -111,9 +136,40 @@ class Session {
   /// Advances the SC total order S and returns the new position. Every
   /// seq_cst store/RMW/fence occupies one slot; stores stamp it on their
   /// history entry, fences record it per thread, and loads use the two as
-  /// value floors (see checked_atomic.hpp admissible_pick). Call with mu_
-  /// held.
-  std::uint64_t next_sc_time() { return ++sc_seq_; }
+  /// value floors (see checked_atomic.hpp admissible_pick). When SC
+  /// exploration is on, the event (issuer, epoch, object, clock) is also
+  /// recorded in a bounded ring so sc_floor_is_firm can check whether a
+  /// later reordering of S would be admissible. `addr` is the stored-to
+  /// object, or nullptr for a fence. Call with mu_ held.
+  std::uint64_t take_sc_slot(int tid, const void* addr);
+
+  /// SC-order exploration hook (see Options::sc_reorder_window): asked by
+  /// admissible_pick before it applies an S-order value floor from the
+  /// event at S-position `published` against a reader whose horizon is
+  /// `horizon`. Returns true when the floor must stand — either
+  /// exploration is off, the publisher cannot legally slide past the
+  /// horizon in any admissible S (happens-before or same-object coherence
+  /// pins it, or the interval outruns the window/ring), or the seeded coin
+  /// declines to explore this window. `obj` is the object being loaded.
+  /// Call with mu_ held.
+  bool sc_floor_is_firm(int tid, const void* obj, std::uint64_t published,
+                        std::uint64_t horizon);
+
+  /// Position-aware strict order on S slots. Dropping a floor *commits* an
+  /// S reordering: the publisher is re-seated just after the horizon it
+  /// slid past (sc_deferred_), and every later publication comparison must
+  /// honor that commitment or the explored history would be built from
+  /// mutually contradictory total orders (e.g. store-buffering could reach
+  /// the both-zero outcome C11 forbids by inverting two fences both ways).
+  /// Call with mu_ held.
+  [[nodiscard]] bool sc_before(std::uint64_t a, std::uint64_t b) const;
+
+  /// Records that slot `h` (a seq_cst fence) served as some load's
+  /// freshness horizon. A used horizon anchors S around it: publishers
+  /// before it can no longer slide past it, because loads that already ran
+  /// under that horizon skipped floors assuming the slot-order positions.
+  /// Call with mu_ held.
+  void sc_note_horizon(std::uint64_t h);
 
   /// S-position at which a store by thread `tid` at event `epoch` was
   /// published by that thread's earliest *later* seq_cst fence, or 0 if no
@@ -149,6 +205,20 @@ class Session {
   void on_plain_read(int tid, const void* addr, Site site);
   void on_plain_write(int tid, const void* addr, Site site);
 
+  // --- plain-access value model (verify::plain_load / plain_store) -------
+  /// Race-checks like on_plain_read, then returns an admissible value for
+  /// the cell: any recorded store not superseded by one the reader's clock
+  /// knows (same floors as atomic loads, minus SC — plain cells are not in
+  /// S). `fresh_bits` is the cell's live value, returned verbatim when the
+  /// cell has no recorded history.
+  std::uint64_t on_plain_read_value(int tid, const void* addr, Site site,
+                                    std::uint64_t fresh_bits);
+  /// Race-checks like on_plain_write, then appends {new_bits} to the cell's
+  /// history. On first contact the pre-write live value `old_bits` seeds
+  /// the history as an initial store visible to every thread.
+  void on_plain_write_value(int tid, const void* addr, Site site,
+                            std::uint64_t old_bits, std::uint64_t new_bits);
+
   // --- diagnostics -------------------------------------------------------
   /// Records a model violation (takes mu_ unless already held — use the
   /// _locked variant from instrumented code).
@@ -161,13 +231,44 @@ class Session {
   [[nodiscard]] std::string report_text() const;
 
  private:
+  /// One recorded store to a value-modeled plain cell.
+  struct PlainRec {
+    std::uint64_t bits = 0;
+    int tid = 0;
+    std::uint32_t epoch = 0;  ///< writer's event counter (0 = initial seed)
+  };
+
   struct PlainVar {
     int writer_tid = -1;
     std::uint32_t writer_epoch = 0;
     Site writer_site{};
     std::array<std::uint32_t, kMaxVerifyThreads> read_epoch{};
     std::array<Site, kMaxVerifyThreads> read_site{};
+    // Value model (plain_load/plain_store cells only; empty for cells that
+    // carry bare WASP_VERIFY_RD/WR annotations). Mirrors the atomic Model:
+    // back() = latest in modification order, base = absolute index of
+    // hist[0], last_read = per-thread coherence floors (absolute indices).
+    std::vector<PlainRec> hist;
+    std::uint64_t base = 0;
+    std::array<std::uint64_t, kMaxVerifyThreads> last_read{};
   };
+
+  /// One seq_cst event in the bounded exploration ring (positions are
+  /// contiguous, so ring[i].pos == ring.front().pos + i).
+  struct ScEvent {
+    std::uint64_t pos = 0;
+    int tid = 0;
+    std::uint32_t epoch = 0;    ///< issuer's event counter at the event
+    const void* addr = nullptr; ///< stored-to object; nullptr for a fence
+    VectorClock clock;          ///< issuer's clock at the event
+  };
+
+  /// Shared race bookkeeping for the four on_plain_* entry points (mu_
+  /// held). Returns the access epoch.
+  std::uint32_t plain_read_check_locked(int tid, const void* addr,
+                                        PlainVar& var, Site site);
+  std::uint32_t plain_write_check_locked(int tid, const void* addr,
+                                         PlainVar& var, Site site);
 
   Options options_;
   std::uint64_t generation_;
@@ -175,6 +276,20 @@ class Session {
   std::vector<ThreadState> threads_;
   VectorClock sc_clock_;
   std::uint64_t sc_seq_ = 0;  ///< length of the SC total order S so far
+  std::deque<ScEvent> sc_events_;  ///< recent S suffix (exploration only)
+  /// Exploration commitments (all keyed by original slot; sessions are
+  /// per-test and short-lived, so these are not pruned):
+  /// slot -> re-seated position "just after sc_deferred_[slot].first, with
+  /// tie-break sc_deferred_[slot].second" for publishers whose floor was
+  /// dropped.
+  std::unordered_map<std::uint64_t, std::pair<std::uint64_t, std::uint64_t>>
+      sc_deferred_;
+  /// publisher slot -> smallest horizon whose floor was *applied* via the
+  /// exploration coin; the publisher may never slide past it.
+  std::unordered_map<std::uint64_t, std::uint64_t> sc_pinned_;
+  /// fence slots already used as a load horizon (see sc_note_horizon).
+  std::unordered_map<std::uint64_t, bool> sc_used_;
+  std::uint64_t sc_defer_sub_ = 0;  ///< tie-break for same-base deferrals
   std::unordered_map<const void*, PlainVar> plain_;
   std::vector<std::string> diagnostics_;
   std::size_t dropped_diagnostics_ = 0;

@@ -34,6 +34,7 @@
 #include "concurrent/stealing_multiqueue.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
+#include "sssp/curr_board.hpp"
 #include "sssp/dijkstra.hpp"
 #include "sssp/sssp.hpp"
 #include "sssp/validate.hpp"
@@ -415,7 +416,7 @@ TEST(VerifyModel, FenceFencePublishesEarlierRelaxedStore) {
   // seq_cst fence later than X in S (sc_publish_time). This rule is
   // load-bearing for the intact Chase-Lev deque: pop_bottom's relaxed
   // bottom decrement is published to fenced thieves only by the owner's
-  // CLD-9 fence — without the rule the serialized scheduler would observe
+  // CLD-5f7729 fence — without the rule the serialized scheduler would observe
   // "impossible" stale bottoms on correct code.
   for (std::uint64_t seed = 0; seed < 200; ++seed) {
     verify::atomic<int> x{0};
@@ -470,9 +471,360 @@ TEST(VerifyModel, UnfencedLoadMayStillMissSeqCstStore) {
          "over-approximating and would mask seq_cst weakenings";
 }
 
+// --- seq_cst fences: pure S-membership, no happens-before -----------------
+//
+// C11 seq_cst fences only take a slot in the total order S; they floor the
+// *values* later loads may return but never synchronize by themselves —
+// happens-before still needs an atomic store/load mediator. The model used
+// to over-approximate here (every fence joined a global clock), which hid
+// fence-reliant protocols' missing edges from the race checker. These
+// litmus tests fail under that old semantics and pin the faithful one.
+
+TEST(VerifyModel, ScFencesAloneDoNotSynchronizePlainAccesses) {
+  // T0: plain write, seq_cst fence. T1 (later in real time, so later in
+  // S): seq_cst fence, plain read. The raw std::atomic handoff orders the
+  // threads in real time without a model edge. C11: the two fences are in
+  // S but create no happens-before, so the plain accesses race.
+  std::uint32_t cell = 0;
+  std::atomic<int> handoff{0};
+  Session session(session_options(2, 7));
+  run_bound(session, nullptr, 2, [&](int tid) {
+    if (tid == 0) {
+      verify::plain_store(cell, std::uint32_t{7});
+      verify::thread_fence(std::memory_order_seq_cst);
+      handoff.store(1, std::memory_order_release);
+    } else {
+      while (handoff.load(std::memory_order_acquire) != 1) {
+      }
+      verify::thread_fence(std::memory_order_seq_cst);
+      (void)verify::plain_load(cell);
+    }
+  });
+  EXPECT_FALSE(session.ok())
+      << "fence-fence alone must not order plain accesses: a seq_cst "
+         "fence is S-membership only, not a synchronization edge";
+  EXPECT_NE(session.report_text().find("race"), std::string::npos)
+      << session.report_text();
+}
+
+TEST(VerifyModel, FenceFenceForcesValueWithoutHappensBefore) {
+  // The two sides of the decoupling in one history: the fence-fence
+  // [atomics.order] rule forces the relaxed load fresh (value floor), yet
+  // the plain cell written before the store still races — visibility of a
+  // value is not ordering. Under the old clock-joining fences this test
+  // fails on the second expectation.
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    std::uint32_t cell = 0;
+    verify::atomic<int> x{0};
+    std::atomic<int> handoff{0};
+    int seen = -1;
+    Session session(always_stale(2, seed));
+    run_bound(session, nullptr, 2, [&](int tid) {
+      if (tid == 0) {
+        verify::plain_store(cell, std::uint32_t{7});
+        x.store(1, std::memory_order_relaxed);
+        verify::thread_fence(std::memory_order_seq_cst);
+        handoff.store(1, std::memory_order_release);
+      } else {
+        while (handoff.load(std::memory_order_acquire) != 1) {
+        }
+        verify::thread_fence(std::memory_order_seq_cst);
+        seen = x.load(std::memory_order_relaxed);
+        (void)verify::plain_load(cell);
+      }
+    });
+    ASSERT_EQ(seen, 1) << "fence-fence value floor lost at seed " << seed;
+    ASSERT_FALSE(session.ok())
+        << "value forced fresh must still leave the plain cell racy "
+           "(seed " << seed << ")";
+  }
+}
+
+// --- release sequences (C++11 pre-P0982 rules) ----------------------------
+
+TEST(VerifyModel, ReleaseSequenceContinuesThroughOwnRelaxedStore) {
+  // C++11 [intro.races]: a release sequence headed by a release store
+  // continues through *same-thread* subsequent stores, so an acquire load
+  // that reads the later relaxed store still synchronizes with the head.
+  // The Chase-Lev bottom_ protocol depends on this: pop_bottom's relaxed
+  // bottom stores must keep carrying the owner's last release.
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    std::uint32_t cell = 0;
+    verify::atomic<int> x{0};
+    std::atomic<int> handoff{0};
+    Session session(always_stale(2, seed));
+    run_bound(session, nullptr, 2, [&](int tid) {
+      if (tid == 0) {
+        verify::plain_store(cell, std::uint32_t{7});
+        x.store(1, std::memory_order_release);
+        x.store(2, std::memory_order_relaxed);
+        handoff.store(1, std::memory_order_release);
+      } else {
+        while (handoff.load(std::memory_order_acquire) != 1) {
+        }
+        int r = 0;
+        for (int i = 0; i < 400 && r != 2; ++i)
+          r = x.load(std::memory_order_acquire);
+        ASSERT_EQ(r, 2) << "coherence never converged at seed " << seed;
+        ASSERT_EQ(verify::plain_load(cell), 7U);
+      }
+    });
+    ASSERT_TRUE(session.ok())
+        << "same-thread continuation ignored at seed " << seed << ":\n"
+        << session.report_text();
+  }
+}
+
+TEST(VerifyModel, ReleaseSequenceBrokenByForeignRelaxedStore) {
+  // ...but a relaxed store by *another* thread (not an RMW) breaks the
+  // sequence: an acquire load of that store gets no edge to the head.
+  std::uint32_t cell = 0;
+  verify::atomic<int> x{0};
+  std::atomic<int> h1{0};
+  std::atomic<int> h2{0};
+  Session session(session_options(3, 11));
+  run_bound(session, nullptr, 3, [&](int tid) {
+    if (tid == 0) {
+      verify::plain_store(cell, std::uint32_t{7});
+      x.store(1, std::memory_order_release);
+      h1.store(1, std::memory_order_release);
+    } else if (tid == 1) {
+      while (h1.load(std::memory_order_acquire) != 1) {
+      }
+      x.store(2, std::memory_order_relaxed);
+      h2.store(1, std::memory_order_release);
+    } else {
+      while (h2.load(std::memory_order_acquire) != 1) {
+      }
+      // Relaxed spin keeps the clock clean of store 1's payload (its
+      // release clock lands in pending_acquire, never joined); the final
+      // acquire re-reads store 2 by coherence and gets no edge from it.
+      int r = 0;
+      for (int i = 0; i < 400 && r != 2; ++i)
+        r = x.load(std::memory_order_relaxed);
+      ASSERT_EQ(r, 2);
+      (void)x.load(std::memory_order_acquire);
+      (void)verify::plain_load(cell);
+    }
+  });
+  EXPECT_FALSE(session.ok())
+      << "a foreign relaxed store must break the release sequence";
+}
+
+TEST(VerifyModel, RmwContinuesForeignReleaseSequence) {
+  // An RMW by any thread continues the sequence (C++11 and C++20 agree):
+  // the acquire load of the fetch_add's result synchronizes with the
+  // original release head.
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    std::uint32_t cell = 0;
+    verify::atomic<int> x{0};
+    std::atomic<int> h1{0};
+    std::atomic<int> h2{0};
+    Session session(always_stale(3, seed));
+    run_bound(session, nullptr, 3, [&](int tid) {
+      if (tid == 0) {
+        verify::plain_store(cell, std::uint32_t{7});
+        x.store(1, std::memory_order_release);
+        h1.store(1, std::memory_order_release);
+      } else if (tid == 1) {
+        while (h1.load(std::memory_order_acquire) != 1) {
+        }
+        x.fetch_add(1, std::memory_order_relaxed);
+        h2.store(1, std::memory_order_release);
+      } else {
+        while (h2.load(std::memory_order_acquire) != 1) {
+        }
+        int r = 0;
+        for (int i = 0; i < 400 && r != 2; ++i)
+          r = x.load(std::memory_order_acquire);
+        ASSERT_EQ(r, 2) << "coherence never converged at seed " << seed;
+        ASSERT_EQ(verify::plain_load(cell), 7U);
+      }
+    });
+    ASSERT_TRUE(session.ok())
+        << "RMW continuation ignored at seed " << seed << ":\n"
+        << session.report_text();
+  }
+}
+
+// --- SC-order exploration (Options::sc_reorder_window) --------------------
+//
+// With a nonzero window the session *searches* over admissible SC total
+// orders instead of fixing S to the execution lock order: a publication
+// floor whose publisher is unordered (by happens-before and coherence)
+// with every event up to the reader's horizon may be dropped, re-seating
+// the publisher after the horizon. Each drop is a commitment, re-validated
+// against every later freshness window (Session::sc_before /
+// sc_note_horizon), so the explored history is always some single valid S.
+
+/// always_stale plus an exploration window: every legal S reordering is
+/// taken whenever the coin allows.
+Session::Options exploring(int threads, std::uint64_t seed, int window) {
+  Session::Options o = always_stale(threads, seed);
+  o.sc_reorder_window = window;
+  return o;
+}
+
+TEST(VerifyModel, ScExplorationUnpinsUnorderedStoreFenceWindow) {
+  // A seq_cst store and a later (real-time) seq_cst fence with no
+  // happens-before between them may appear in either order in S; only the
+  // store->fence floor of the lock order forces the fresh value. Window 0
+  // keeps the floor bit-for-bit; a nonzero window must explore the other
+  // admissible order and let the load go stale.
+  for (int window : {0, 4}) {
+    int stale_runs = 0;
+    for (std::uint64_t seed = 0; seed < 200; ++seed) {
+      verify::atomic<int> x{0};
+      std::atomic<int> handoff{0};
+      int seen = -1;
+      Session session(exploring(2, seed, window));
+      run_bound(session, nullptr, 2, [&](int tid) {
+        if (tid == 0) {
+          x.store(1, std::memory_order_seq_cst);
+          handoff.store(1, std::memory_order_release);
+        } else {
+          while (handoff.load(std::memory_order_acquire) != 1) {
+          }
+          verify::thread_fence(std::memory_order_seq_cst);
+          seen = x.load(std::memory_order_relaxed);
+        }
+      });
+      ASSERT_TRUE(session.ok()) << session.report_text();
+      if (seen == 0) ++stale_runs;
+    }
+    if (window == 0) {
+      EXPECT_EQ(stale_runs, 0)
+          << "window 0 must preserve the lock-order floors exactly";
+    } else {
+      EXPECT_GT(stale_runs, 0)
+          << "exploration never took the admissible S reordering";
+    }
+  }
+}
+
+TEST(VerifyModel, ScExplorationKeepsSeqCstLoadFloorsFirm) {
+  // Store buffering with seq_cst accesses: both-zero contradicts every
+  // total order, window or no window — a seq_cst load's horizon is all of
+  // S, which exploration must never slide anything past.
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    verify::atomic<int> x{0};
+    verify::atomic<int> y{0};
+    int r0 = -1;
+    int r1 = -1;
+    Session session(exploring(2, seed, 8));
+    run_bound(session, nullptr, 2, [&](int tid) {
+      if (tid == 0) {
+        x.store(1, std::memory_order_seq_cst);
+        r0 = y.load(std::memory_order_seq_cst);
+      } else {
+        y.store(1, std::memory_order_seq_cst);
+        r1 = x.load(std::memory_order_seq_cst);
+      }
+    });
+    ASSERT_TRUE(session.ok()) << session.report_text();
+    ASSERT_FALSE(r0 == 0 && r1 == 0)
+        << "seq_cst store buffering reached both-zero at seed " << seed;
+  }
+}
+
+TEST(VerifyModel, ScExplorationHorizonAnchorsForbidFenceBothZero) {
+  // Store buffering with relaxed accesses and seq_cst fences: C11 forbids
+  // both-zero for *every* choice of S (whichever fence is later floors
+  // that side's load). With T0 completing first, T0's load already ran
+  // under its fence's horizon, so exploration may not slide that fence
+  // past T1's — without the horizon-anchor commitment the two floors
+  // would be dropped against contradictory orders and both-zero appears.
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    verify::atomic<int> x{0};
+    verify::atomic<int> y{0};
+    std::atomic<int> handoff{0};
+    int r0 = -1;
+    int r1 = -1;
+    Session session(exploring(2, seed, 8));
+    run_bound(session, nullptr, 2, [&](int tid) {
+      if (tid == 0) {
+        x.store(1, std::memory_order_relaxed);
+        verify::thread_fence(std::memory_order_seq_cst);
+        r0 = y.load(std::memory_order_relaxed);
+        handoff.store(1, std::memory_order_release);
+      } else {
+        while (handoff.load(std::memory_order_acquire) != 1) {
+        }
+        y.store(1, std::memory_order_relaxed);
+        verify::thread_fence(std::memory_order_seq_cst);
+        r1 = x.load(std::memory_order_relaxed);
+      }
+    });
+    ASSERT_TRUE(session.ok()) << session.report_text();
+    ASSERT_EQ(r0, 0) << "T0 ran first; y cannot be set yet";
+    ASSERT_EQ(r1, 1)
+        << "T0's fence is anchored by its own load's horizon; T1's "
+           "post-fence load must stay floored (seed " << seed << ")";
+  }
+}
+
+// --- plain-cell value modeling (verify::plain_load / plain_store) ---------
+
+TEST(VerifyModel, PlainValueModelAdmitsStaleValueWithoutHb) {
+  // An unsynchronized plain read is both *reported* (race diagnostic) and
+  // *simulated* (it may return any admissible value, not just the latest),
+  // so value-sensitive assertions downstream of a protocol hole fail in
+  // the simulation instead of silently reading fresh hardware values.
+  int stale_runs = 0;
+  int fresh_runs = 0;
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    std::uint32_t cell = 1;
+    std::atomic<int> handoff{0};
+    std::uint32_t seen = 0;
+    Session session(always_stale(2, seed));
+    run_bound(session, nullptr, 2, [&](int tid) {
+      if (tid == 0) {
+        verify::plain_store(cell, std::uint32_t{7});
+        handoff.store(1, std::memory_order_release);
+      } else {
+        while (handoff.load(std::memory_order_acquire) != 1) {
+        }
+        seen = verify::plain_load(cell);
+      }
+    });
+    EXPECT_FALSE(session.ok()) << "unsynchronized plain read not reported";
+    ASSERT_TRUE(seen == 1 || seen == 7) << "invented value " << seen;
+    (seen == 1 ? stale_runs : fresh_runs) += 1;
+  }
+  EXPECT_GT(stale_runs, 0) << "stale plain value never simulated";
+  EXPECT_GT(fresh_runs, 0) << "fresh plain value never simulated";
+}
+
+TEST(VerifyModel, PlainValueModelFreshUnderReleaseAcquire) {
+  // With a correct handoff the value floor follows the clock: the reader
+  // must see the pre-release store, and no race is reported.
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    std::uint32_t cell = 1;
+    verify::atomic<int> flag{0};
+    Session session(always_stale(2, seed));
+    run_bound(session, nullptr, 2, [&](int tid) {
+      if (tid == 0) {
+        verify::plain_store(cell, std::uint32_t{7});
+        flag.store(1, std::memory_order_release);
+      } else {
+        // Unbounded spin: the writer runs on a real OS thread, so any fixed
+        // retry bound turns writer starvation into a spurious failure (it
+        // fired once in a mutation campaign under build load, mis-crediting
+        // a kill). The model floors staleness, so the loop terminates once
+        // the store lands; a genuine model bug surfaces as a test timeout.
+        int r = 0;
+        while (r != 1) r = flag.load(std::memory_order_acquire);
+        ASSERT_EQ(verify::plain_load(cell), 7U)
+            << "synchronized plain read went stale at seed " << seed;
+      }
+    });
+    ASSERT_TRUE(session.ok()) << session.report_text();
+  }
+}
+
 // --- SC-order kill tests for the Chase-Lev seq_cst CAS sites --------------
 //
-// CLD-12 (pop_bottom last-element CAS) and CLD-19 (steal CAS) need seq_cst
+// CLD-86f63b (pop_bottom last-element CAS) and CLD-c4227a (steal CAS) need seq_cst
 // for a *freshness* guarantee, not for element flow: element transfer is
 // CAS-certified (an RMW always reads the latest top, so hardware never
 // duplicates), which is why no element-conservation harness can kill a
@@ -482,8 +834,8 @@ TEST(VerifyModel, UnfencedLoadMayStillMissSeqCstStore) {
 // exactly that contract via size_estimate() after a fence, with staleness
 // pressure at maximum. Intact, the floors make the outcome deterministic;
 // weakened to acq_rel the CAS leaves no trace in S (neither CAS is covered
-// by a *later* same-thread fence: pop_bottom's CLD-9 fence and steal's
-// CLD-16 fence both precede their CAS), so the observer legally reads the
+// by a *later* same-thread fence: pop_bottom's CLD-5f7729 fence and steal's
+// CLD-18faf2 fence both precede their CAS), so the observer legally reads the
 // pre-CAS top and the assertion trips within a few seeds.
 
 TEST(DequeScOrder, PopBottomCasIsPublishedToFencedThief) {
@@ -497,7 +849,7 @@ TEST(DequeScOrder, PopBottomCasIsPublishedToFencedThief) {
     run_bound(session, nullptr, 2, [&](int tid) {
       if (tid == 0) {
         deque.push_bottom(&cell);
-        // Last-element pop: t == b path, decided by the CLD-12 seq_cst
+        // Last-element pop: t == b path, decided by the CLD-86f63b seq_cst
         // CAS on top (0 -> 1). No owner fence follows it.
         int* got = deque.pop_bottom();
         EXPECT_EQ(got, &cell);
@@ -515,7 +867,7 @@ TEST(DequeScOrder, PopBottomCasIsPublishedToFencedThief) {
     ASSERT_EQ(size_seen, 0)
         << replay_hint(seed)
         << ": a fenced observer saw a pre-CAS top after the owner's "
-           "last-element pop - the CLD-12 CAS lost its seq_cst publication";
+           "last-element pop - the CLD-86f63b CAS lost its seq_cst publication";
   }
 }
 
@@ -540,10 +892,10 @@ TEST(DequeScOrder, StealCasIsPublishedToFencedOwner) {
         while (stage.load(std::memory_order_acquire) != 1) {
           std::this_thread::yield();
         }
-        // Under maximum staleness the CLD-17 bottom load may legally read
+        // Under maximum staleness the CLD-e3247c bottom load may legally read
         // the pre-push bottom and return empty; retry until the one
-        // element is taken. Every attempt's CLD-16 fence still precedes
-        // the CLD-19 CAS, so no retry ever publishes it.
+        // element is taken. Every attempt's CLD-18faf2 fence still precedes
+        // the CLD-c4227a CAS, so no retry ever publishes it.
         int* got = nullptr;
         while ((got = deque.steal()) == nullptr) {
         }
@@ -556,7 +908,150 @@ TEST(DequeScOrder, StealCasIsPublishedToFencedOwner) {
     ASSERT_EQ(size_seen, 0)
         << replay_hint(seed)
         << ": a fenced owner saw a pre-CAS top after the thief emptied the "
-           "deque - the CLD-19 CAS lost its seq_cst publication";
+           "deque - the CLD-c4227a CAS lost its seq_cst publication";
+  }
+}
+
+// --- Wasp curr-board publication protocol (src/sssp/curr_board.hpp) -------
+//
+// The probe-then-steal freshness contract: a thief whose probe() observed a
+// published level is synchronized with everything the owner pushed before
+// publish(), so its very first steal() must succeed and the stolen chunk's
+// plain payload (priority, vertices) must read fresh. These are the kill
+// tests for the CURR publish-site mutants: weaken publish() to relaxed and
+// the implication breaks at pinned seeds (stale bottom -> null steal, or a
+// stale priority value), while the intact protocol satisfies it on every
+// seed. The conditional shape matters: probe() reading the level is itself
+// permitted to go stale, so the tests assert the implication, not
+// unconditional success, and check the sweep was not vacuous.
+
+using HarnessChunk = BasicChunk<4>;  // also used by the harnesses below
+
+TEST(WaspCurrProtocol, ProbedLevelGuaranteesStealableChunk) {
+  const SeedRange seeds = harness_seeds();
+  int observed_runs = 0;
+  for (std::uint64_t seed = seeds.first; seed < seeds.last; ++seed) {
+    CurrBoard board(2);
+    ChaseLevDeque<HarnessChunk*> deque(4);
+    HarnessChunk chunk;  // filled bound by the owner
+    std::atomic<int> ready{0};  // raw: real-time order, no model edge
+    Session session(always_stale(2, seed));
+    run_bound(session, nullptr, 2, [&](int tid) {
+      if (tid == 0) {
+        chunk.set_priority(5);
+        chunk.push(VertexId{7});
+        deque.push_bottom(&chunk);
+        board.publish(0, 5);
+        ready.store(1, std::memory_order_release);
+      } else {
+        while (ready.load(std::memory_order_acquire) != 1) {
+          std::this_thread::yield();
+        }
+        if (board.probe(0) == 5) {
+          ++observed_runs;
+          HarnessChunk* got = deque.steal();
+          ASSERT_NE(got, nullptr)
+              << replay_hint(seed)
+              << ": probe observed the published level but the first steal "
+                 "missed the chunk pushed before publish() - the "
+                 "release/acquire freshness contract is broken";
+          EXPECT_EQ(got->priority(), 5U)
+              << replay_hint(seed) << ": stolen chunk's plain priority "
+                                      "field read stale";
+          EXPECT_EQ(got->pop(), VertexId{7})
+              << replay_hint(seed) << ": stolen chunk's payload read stale";
+        }
+      }
+    });
+    ASSERT_TRUE(session.ok()) << replay_hint(seed) << ":\n"
+                              << session.report_text();
+  }
+  // Staleness may legitimately hide the published level on some seeds, but
+  // a sweep in which the thief never observes it would make the kill
+  // assertions above vacuous.
+  EXPECT_GT(observed_runs, 0) << "probe never observed the published level";
+}
+
+TEST(WaspCurrProtocol, IdlePublishOrdersPriorChunkMutations) {
+  // Termination-side contract: a scanner that observes a worker's idle
+  // publish (kInfPriority) is ordered after every chunk mutation the
+  // worker made before it, so a post-scan inspection of leftover chunks
+  // cannot race with the worker's last writes.
+  const SeedRange seeds = harness_seeds(100);
+  int observed_runs = 0;
+  for (std::uint64_t seed = seeds.first; seed < seeds.last; ++seed) {
+    CurrBoard board(2);
+    HarnessChunk chunk;
+    std::atomic<int> ready{0};
+    Session session(always_stale(2, seed));
+    run_bound(session, nullptr, 2, [&](int tid) {
+      if (tid == 0) {
+        board.publish(0, 3);  // working at level 3
+        chunk.push(VertexId{9});
+        board.publish(0, kInfPriority);  // idle
+        ready.store(1, std::memory_order_release);
+      } else {
+        while (ready.load(std::memory_order_acquire) != 1) {
+          std::this_thread::yield();
+        }
+        // The board starts at kInfPriority, so a bare idle observation
+        // could be a stale read of the initial value, which carries no
+        // edge (the double-scan epoch check covers that in the engine).
+        // The ordering contract applies to a scanner that saw the worker
+        // *active* first: coherence then pins the later idle read to the
+        // worker's publish, whose release payload covers the push.
+        std::uint64_t lvl = 0;
+        for (int i = 0; i < 400 && lvl != 3; ++i) lvl = board.scan(0);
+        if (lvl == 3) {
+          for (int i = 0; i < 400 && lvl != kInfPriority; ++i)
+            lvl = board.scan(0);
+          if (lvl == kInfPriority) {
+            ++observed_runs;
+            EXPECT_EQ(chunk.peek(0), VertexId{9})
+                << replay_hint(seed) << ": idle observed after activity, "
+                                        "but the worker's chunk mutation "
+                                        "was not ordered";
+          }
+        }
+      }
+    });
+    ASSERT_TRUE(session.ok()) << replay_hint(seed) << ":\n"
+                              << session.report_text();
+  }
+  EXPECT_GT(observed_runs, 0) << "scan never observed the idle level";
+}
+
+// --- Chase-Lev ring handoff (CLD-da1296 consume / CLD-69c545 release) -------------
+
+TEST(DequeGrow, ConsumeCarriesRingConstructionToThief) {
+  // The thief reaches a grown ring only through the CLD-da1296 consume load of
+  // buffer_; grow's CLD-69c545 release store carries the new Ring's plain
+  // construction (capacity/mask/slots pointer, declared via the ctor's
+  // WASP_VERIFY_WR). This is the kill test for the CLD-da1296 consume->relaxed
+  // mutant: without the edge, the thief's Ring::get() races with the
+  // constructor at pinned seeds. The intact deque must stay race-free
+  // under maximum staleness on every seed.
+  const SeedRange seeds = harness_seeds();
+  for (std::uint64_t seed = seeds.first; seed < seeds.last; ++seed) {
+    ChaseLevDeque<HarnessChunk*> deque(2);  // capacity 2: third push grows
+    std::vector<HarnessChunk> chunks(3);
+    std::atomic<int> ready{0};
+    Session session(always_stale(2, seed));
+    run_bound(session, nullptr, 2, [&](int tid) {
+      if (tid == 0) {
+        for (auto& c : chunks) deque.push_bottom(&c);  // grows while bound
+        ready.store(1, std::memory_order_release);
+      } else {
+        while (ready.load(std::memory_order_acquire) != 1) {
+          std::this_thread::yield();
+        }
+        for (int i = 0; i < 4; ++i) (void)deque.steal();
+      }
+    });
+    ASSERT_TRUE(session.ok())
+        << replay_hint(seed)
+        << ": intact consume/release ring handoff reported a race:\n"
+        << session.report_text();
   }
 }
 

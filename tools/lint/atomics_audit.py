@@ -5,27 +5,54 @@ Subcommands
 -----------
   list      Enumerate every memory-order annotation site in scope, with its
             stable mutant ID and the weakening that would be applied.
-  check     Lint mode (CI): reject implicit-seq_cst atomic operations, bare
-            `volatile`, and raw std::atomic / std::atomic_thread_fence usage
-            in the scoped files (they must go through verify::atomic /
-            verify::thread_fence so the WASP_VERIFY model sees them).
+  check     Lint mode (CI). Scope is discovered automatically: every .hpp and
+            .cpp under src/ except src/verify/ (the model itself wraps raw
+            atomics by design). Checks:
+              raw-atomic        std::atomic / std::atomic_thread_fence /
+                                std::atomic_flag outside verify::. A justified
+                                exception carries a
+                                `// lint:allow(raw-atomic): <reason>` pragma in
+                                the comment block directly above the site.
+              bare-volatile     `volatile` is not a synchronization tool.
+              implicit-seq-cst  every atomic operation must name its order, so
+                                each site is a deliberate, mutation-tested
+                                decision.
+              order-comment     every memory-order site must carry an ordering
+                                comment (same line or within the 3 preceding
+                                lines) that names an order or a
+                                synchronization concept — the protocol is
+                                documented where it is implemented.
+              cancel-poll       every parallel worker loop in src/sssp/ (a
+                                .cpp that calls team.run) must poll the
+                                CancelToken (stop_requested / poll_cancel);
+                                an unpollable algorithm wedges the service
+                                layer's deadline machinery.
+  selftest  Run the checks against tools/lint/testdata/ fixtures and require
+            each bad fixture to be flagged and each good one to pass — the
+            negative tests for the linter itself (wired into ctest).
   mutate    Apply a single mutant in place (debugging aid; restore with git).
   test      The mutation run: weaken each ordering annotation one at a time,
             rebuild test_verify in a WASP_VERIFY build tree, and require the
             suite to kill the mutant. Survivors must be waived in
             tools/lint/mutant_waivers.txt AND documented in
             docs/CONCURRENCY.md, and the kill rate over non-waived mutants
-            must meet --kill-rate (default 0.9).
+            must meet --kill-rate (default 0.9). Ends with a campaign summary
+            table: mutant -> killing test + seed, or the waiver reference.
 
-A mutant ID is `<FILE-ABBREV>-<n>` where n is the 1-based ordinal of the
-ordering site in file order (top to bottom). IDs shift when sites are added
-or removed above them — `list` is the source of truth, and the waiver file
-is cross-checked against docs/CONCURRENCY.md so a stale waiver is caught.
+A mutant ID is `<FILE-ABBREV>-<hash6>` where hash6 is the first 6 hex digits
+of SHA-256 over (repo-relative path, the code text of the line, the order
+being weakened, and the occurrence index among identical lines). IDs are
+stable under line-number drift — adding or moving code does not rename
+mutants — and change only when the site's own text changes, which is exactly
+when its waiver analysis must be revisited. `list` is the source of truth,
+and the waiver file is cross-checked against docs/CONCURRENCY.md so a stale
+waiver is caught.
 
 Only the standard library is used; no dependencies.
 """
 
 import argparse
+import hashlib
 import json
 import re
 import subprocess
@@ -36,32 +63,37 @@ from pathlib import Path
 # --- scope ----------------------------------------------------------------
 
 REPO = Path(__file__).resolve().parents[2]
+SRC = REPO / "src"
+TESTDATA = REPO / "tools" / "lint" / "testdata"
 
-LINT_SCOPE = [
-    "src/concurrent/chase_lev_deque.hpp",
-    "src/concurrent/chunk.hpp",
-    "src/concurrent/dary_heap.hpp",
-    "src/concurrent/frontier_bag.hpp",
-    "src/concurrent/multiqueue.hpp",
-    "src/concurrent/multiqueue.cpp",
-    "src/concurrent/spinlock.hpp",
-    "src/concurrent/stealing_multiqueue.hpp",
-    "src/sssp/common.hpp",
-    "src/sssp/wasp.cpp",
-    "src/support/cancel.hpp",
-    "src/service/service.hpp",
-    "src/service/service.cpp",
-]
+# src/verify/ is the model: it wraps std::atomic on purpose and its internal
+# synchronization is below the model (instrumenting it would recurse).
+EXCLUDE_PREFIX = "src/verify/"
 
-# Default mutation targets: the two structures named by the acceptance
-# criteria, the spinlock (the only load-bearing synchronization the
-# StealingMultiQueue has left — docs/CONCURRENCY.md), and the Wasp scheduler
-# protocol itself (curr-bucket publication, steal epochs, termination scan),
-# which the seeded end-to-end harness in test_verify exercises.
+
+def discover_scope():
+    """All C++ sources under src/ except the verify model, repo-relative."""
+    files = []
+    for path in sorted(SRC.rglob("*")):
+        if path.suffix not in (".hpp", ".cpp", ".h", ".cc"):
+            continue
+        rel = path.relative_to(REPO).as_posix()
+        if rel.startswith(EXCLUDE_PREFIX):
+            continue
+        files.append(rel)
+    return files
+
+
+# Default mutation targets: the two stealing structures, the spinlock (the
+# only load-bearing synchronization the StealingMultiQueue has left —
+# docs/CONCURRENCY.md), the curr-board publication protocol, and the Wasp
+# scheduler loop itself (steal epochs, termination scan), which the seeded
+# end-to-end harness in test_verify exercises.
 MUTATE_SCOPE = [
     "src/concurrent/chase_lev_deque.hpp",
     "src/concurrent/stealing_multiqueue.hpp",
     "src/concurrent/spinlock.hpp",
+    "src/sssp/curr_board.hpp",
     "src/sssp/wasp.cpp",
 ]
 
@@ -69,6 +101,7 @@ ABBREV = {
     "chase_lev_deque.hpp": "CLD",
     "stealing_multiqueue.hpp": "SMQ",
     "spinlock.hpp": "SL",
+    "curr_board.hpp": "CURR",
     "multiqueue.hpp": "MQH",
     "multiqueue.cpp": "MQ",
     "chunk.hpp": "CHK",
@@ -91,6 +124,7 @@ ORDER_RE = re.compile(
 NON_ATOMIC_RECEIVERS = [
     re.compile(r"dist\s*$"),       # AtomicDistances::load(VertexId)
     re.compile(r"\.dist\s*$"),
+    re.compile(r"distances\s*$"),
 ]
 
 
@@ -110,7 +144,7 @@ class Site:
 
     def describe(self):
         repl = self.replacement or "-"
-        return (f"{self.mutant_id:8s} {self.rel}:{self.line:<4d} "
+        return (f"{self.mutant_id:12s} {self.rel}:{self.line:<4d} "
                 f"{self.order:>8s} -> {repl:<8s} | {self.context}")
 
 
@@ -134,23 +168,36 @@ def weakened(order, line_text):
     return "acq_rel"  # fences, CAS, other RMWs
 
 
+def site_hash(rel, code_text, order, occurrence):
+    """First 6 hex digits of SHA-256 over the site's identity.
+
+    Identity is (path, the line's code text, the order, the occurrence index
+    among sites in the same file with identical code text and order) — stable
+    under line renumbering, unique for duplicated lines.
+    """
+    key = f"{rel}|{code_text.strip()}|{order}|{occurrence}"
+    return hashlib.sha256(key.encode()).hexdigest()[:6]
+
+
 def enumerate_sites(files):
     sites = []
     for rel in files:
         path = REPO / rel
         if not path.exists():
             raise SystemExit(f"atomics_audit: missing scope file {rel}")
-        counter = 0
+        seen = {}  # (code_text, order) -> occurrence count
+        abbrev = ABBREV.get(path.name, path.stem.upper())
         for lineno, line in enumerate(path.read_text().splitlines(), 1):
-            stripped = line.split("//")[0]
-            for m in ORDER_RE.finditer(stripped):
-                counter += 1
+            code = line.split("//")[0]
+            for m in ORDER_RE.finditer(code):
                 order = m.group(1)
-                abbrev = ABBREV.get(path.name, path.stem.upper())
+                key = (code.strip(), order)
+                occurrence = seen.get(key, 0)
+                seen[key] = occurrence + 1
                 sites.append(Site(
                     path, rel, lineno, m.start(), order,
-                    f"{abbrev}-{counter}", weakened(order, stripped),
-                    line.strip()))
+                    f"{abbrev}-{site_hash(rel, code, order, occurrence)}",
+                    weakened(order, code), line.strip()))
     return sites
 
 
@@ -164,6 +211,22 @@ ATOMIC_CALL_RE = re.compile(
     r"[\w\)\]]\s*(?:\.|->)\s*"
     r"(load|store|exchange|fetch_add|fetch_sub|fetch_or|fetch_and|"
     r"compare_exchange_strong|compare_exchange_weak)\s*\(")
+
+RAW_ATOMIC_RE = re.compile(
+    r"\bstd::(atomic\s*<|atomic_flag\b|atomic_ref\s*<|atomic_thread_fence\b)")
+
+ALLOW_PRAGMA_RE = re.compile(r"lint:allow\(raw-atomic\):\s*\S")
+
+# What counts as an "ordering comment": it names an order or a
+# synchronization concept, not just any prose.
+ORDER_COMMENT_RE = re.compile(
+    r"(relaxed|acquire|acq_rel|release|consume|seq_cst|order|fence|"
+    r"synchroniz|happens|pairs with|\bhb\b|\bSC\b|monotonic|publish|race|"
+    r"stale|advisory|\block\b|\bCAS\b|owner-only|exclusiv|private|visib)",
+    re.IGNORECASE)
+
+# How far above a site its ordering comment (or allow pragma block) may sit.
+COMMENT_WINDOW = 3
 
 
 def balanced_args(text, open_paren):
@@ -180,35 +243,94 @@ def balanced_args(text, open_paren):
 
 
 def strip_comments(text):
-    text = re.sub(r"/\*.*?\*/", "", text, flags=re.S)
+    text = re.sub(r"/\*.*?\*/", lambda m: re.sub(r"[^\n]", " ", m.group()),
+                  text, flags=re.S)
     return re.sub(r"//[^\n]*", "", text)
 
 
-def lint_file(rel):
-    """Returns a list of (line, message) findings for one file."""
-    path = REPO / rel
+def allow_pragma_above(lines, lineno):
+    """True if the contiguous comment block ending at line `lineno`-1 carries
+    a lint:allow(raw-atomic) pragma. `lines` is 0-based raw text."""
+    i = lineno - 2  # 0-based index of the line above the site
+    while i >= 0:
+        stripped = lines[i].strip()
+        if not stripped.startswith("//"):
+            break
+        if ALLOW_PRAGMA_RE.search(stripped):
+            return True
+        i -= 1
+    return False
+
+
+def line_comment(line):
+    """The trailing // comment of a raw source line, or ''."""
+    idx = line.find("//")
+    return line[idx:] if idx >= 0 else ""
+
+
+def has_order_comment(lines, lineno):
+    """True if the site at 1-based `lineno` carries an ordering comment:
+    a trailing comment on its own line, or one found walking upward over at
+    most COMMENT_WINDOW code lines — a contiguous comment block encountered
+    on the way (e.g. the enclosing function's doc comment) is evaluated as
+    a whole, so block position relative to the signature does not matter."""
+    if ORDER_COMMENT_RE.search(line_comment(lines[lineno - 1])):
+        return True
+    skipped = 0
+    i = lineno - 2  # 0-based index of the line above the site
+    while i >= 0 and skipped <= COMMENT_WINDOW:
+        if lines[i].strip().startswith("//"):
+            block_hit = False
+            while i >= 0 and lines[i].strip().startswith("//"):
+                if ORDER_COMMENT_RE.search(lines[i].strip()):
+                    block_hit = True
+                i -= 1
+            if block_hit:
+                return True
+            skipped += 1  # a non-ordering comment block costs one step
+        else:
+            if ORDER_COMMENT_RE.search(line_comment(lines[i])):
+                return True
+            skipped += 1
+            i -= 1
+    return False
+
+
+def is_sssp_worker(rel, text):
+    """A parallel-algorithm translation unit: launches a worker team."""
+    return rel.startswith("src/sssp/") and rel.endswith(".cpp") \
+        and "team.run(" in text
+
+
+def lint_file(rel, path=None, force_worker=None):
+    """Returns a list of (line, check, message) findings for one file."""
+    path = path or (REPO / rel)
     raw = path.read_text()
+    raw_lines = raw.splitlines()
     text = strip_comments(raw)
     findings = []
+    allows = []
 
     def lineno(pos):
         return text.count("\n", 0, pos) + 1
 
     for m in re.finditer(r"\bvolatile\b", text):
-        findings.append((lineno(m.start()),
-                         "bare `volatile` is not a synchronization tool; use "
+        findings.append((lineno(m.start()), "bare-volatile",
+                         "`volatile` is not a synchronization tool; use "
                          "verify::atomic"))
 
-    # Raw atomics bypass the WASP_VERIFY model. (checked_atomic.hpp itself
-    # is outside the lint scope.)
-    for m in re.finditer(r"\bstd::atomic\s*<", text):
-        findings.append((lineno(m.start()),
+    # Raw atomics bypass the WASP_VERIFY model. A deliberate exception must
+    # say so where it happens: `// lint:allow(raw-atomic): <reason>` in the
+    # comment block directly above.
+    for m in RAW_ATOMIC_RE.finditer(text):
+        ln = lineno(m.start())
+        if allow_pragma_above(raw_lines, ln):
+            allows.append((ln, raw_lines[ln - 1].strip()))
+            continue
+        findings.append((ln, "raw-atomic",
                          "raw std::atomic in the concurrent layer; use "
-                         "verify::atomic so the model sees it"))
-    for m in re.finditer(r"\bstd::atomic_thread_fence\b", text):
-        findings.append((lineno(m.start()),
-                         "raw std::atomic_thread_fence; use "
-                         "verify::thread_fence"))
+                         "verify::atomic so the model sees it, or justify "
+                         "with `// lint:allow(raw-atomic): <reason>` above"))
 
     # Implicit seq_cst: every atomic operation must name its order, so each
     # site is a deliberate, mutation-tested decision.
@@ -218,22 +340,106 @@ def lint_file(rel):
             continue
         args = balanced_args(text, m.end() - 1)
         if "memory_order" not in args:
-            findings.append((lineno(m.start()),
+            findings.append((lineno(m.start()), "implicit-seq-cst",
                              f"atomic {m.group(1)}() without an explicit "
                              "memory_order (implicit seq_cst)"))
-    return findings
+
+    # Ordering comments: the protocol is documented at the site.
+    commented = set()
+    for lineno_, line in enumerate(raw_lines, 1):
+        code = line.split("//")[0]
+        if not ORDER_RE.search(code):
+            continue
+        if lineno_ in commented:
+            continue
+        if has_order_comment(raw_lines, lineno_):
+            commented.add(lineno_)
+            continue
+        # A continuation line of a multi-line call — or a site in the same
+        # protocol block — inherits the comment covering a site at most
+        # COMMENT_WINDOW lines above it.
+        if any(p in commented
+               for p in range(lineno_ - 1, lineno_ - COMMENT_WINDOW - 1, -1)):
+            commented.add(lineno_)
+            continue
+        findings.append((lineno_, "order-comment",
+                         "memory-order site without an ordering comment "
+                         "(same line or the 3 lines above must say why this "
+                         "order is sufficient)"))
+
+    worker = force_worker if force_worker is not None \
+        else is_sssp_worker(rel, text)
+    if worker and "stop_requested(" not in text and "poll_cancel(" not in text:
+        findings.append((1, "cancel-poll",
+                         "parallel worker loop never polls the CancelToken "
+                         "(stop_requested()/poll_cancel()); deadlines and "
+                         "cancellation cannot reach this algorithm"))
+
+    return findings, allows
 
 
 def cmd_check(args):
+    scope = args.files or discover_scope()
     total = 0
-    for rel in args.files or LINT_SCOPE:
-        for line, msg in lint_file(rel):
-            print(f"{rel}:{line}: {msg}")
+    n_allows = 0
+    for rel in scope:
+        findings, allows = lint_file(rel)
+        n_allows += len(allows)
+        for line, check, msg in findings:
+            print(f"{rel}:{line}: [{check}] {msg}")
             total += 1
+        if args.verbose:
+            for line, text in allows:
+                print(f"{rel}:{line}: allow(raw-atomic): {text}")
     if total:
-        print(f"atomics_audit: {total} finding(s)")
+        print(f"atomics_audit: {total} finding(s) across {len(scope)} files")
         return 1
-    print(f"atomics_audit: clean ({len(args.files or LINT_SCOPE)} files)")
+    print(f"atomics_audit: clean ({len(scope)} files auto-discovered, "
+          f"{n_allows} allow(raw-atomic) pragma(s))")
+    return 0
+
+
+# --- linter self-test ------------------------------------------------------
+
+# fixture -> (expected check names, force_worker)
+SELFTEST_FIXTURES = {
+    "raw_atomic_bad.cpp": ({"raw-atomic"}, None),
+    "raw_atomic_allowed.cpp": (set(), None),
+    "implicit_seq_cst_bad.cpp": ({"implicit-seq-cst"}, None),
+    "order_comment_bad.cpp": ({"order-comment"}, None),
+    "volatile_bad.cpp": ({"bare-volatile"}, None),
+    "worker_no_poll_bad.cpp": ({"cancel-poll"}, True),
+    "worker_polls_ok.cpp": (set(), True),
+}
+
+
+def cmd_selftest(args):
+    failures = []
+    for name, (expected, force_worker) in sorted(SELFTEST_FIXTURES.items()):
+        path = TESTDATA / name
+        if not path.exists():
+            failures.append(f"{name}: fixture missing")
+            continue
+        findings, _ = lint_file(f"tools/lint/testdata/{name}", path=path,
+                                force_worker=force_worker)
+        got = {check for _, check, _ in findings}
+        if expected and not expected <= got:
+            failures.append(
+                f"{name}: expected {sorted(expected)} to fire, got "
+                f"{sorted(got) or 'nothing'} — the check has gone blind")
+        if not expected and got:
+            failures.append(
+                f"{name}: expected clean, got {sorted(got)} — false positive")
+        verdict = "ok" if not failures or failures[-1].split(":")[0] != name \
+            else "FAIL"
+        print(f"  {name:28s} expect={sorted(expected) or ['clean']} "
+              f"got={sorted(got) or ['clean']} {verdict}")
+    if failures:
+        print("atomics_audit selftest: FAIL")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print(f"atomics_audit selftest: PASS ({len(SELFTEST_FIXTURES)} fixtures)")
     return 0
 
 
@@ -246,14 +452,12 @@ def apply_mutant(site):
     line = lines[site.line - 1]
     old = f"std::memory_order_{site.order}"
     new = f"std::memory_order_{site.replacement}"
-    # Replace exactly the occurrence at the recorded column (comments were
-    # stripped during enumeration, so recompute against the raw line).
-    matches = [m for m in re.finditer(re.escape(old), line)]
-    if not matches:
+    if not line[site.col:].startswith(old):
         raise SystemExit(
             f"atomics_audit: {site.mutant_id}: site drifted "
-            f"({site.rel}:{site.line} no longer contains {old}); re-run list")
-    lines[site.line - 1] = line.replace(old, new, 1)
+            f"({site.rel}:{site.line} col {site.col} no longer holds {old}); "
+            "re-run list")
+    lines[site.line - 1] = line[:site.col] + new + line[site.col + len(old):]
     site.path.write_text("".join(lines))
     return original
 
@@ -293,19 +497,24 @@ def cmd_mutate(args):
         if s.mutant_id == args.id:
             apply_mutant(s)
             print(f"applied {s.mutant_id}: {s.rel}:{s.line} "
-                  f"{s.order} -> {s.replacement} (restore with git checkout)")
+                  f"{s.order} -> {s.replacement} (restore with git restore, "
+                  "or hand-edit for untracked files)")
             return 0
     raise SystemExit(f"atomics_audit: unknown mutant id {args.id}")
 
 
+FAILED_TEST_RE = re.compile(r"\[\s*FAILED\s*\]\s+(\S+)")
+SEED_RE = re.compile(r"(?:WASP_VERIFY_SEED=|\bseed[ =])(\d+)")
+
+
 def run_suite(build_dir, timeout, jobs, gtest_filter):
-    """Builds and runs test_verify; returns (verdict, detail)."""
+    """Builds and runs test_verify; returns (verdict, detail, killer)."""
     build = subprocess.run(
         ["cmake", "--build", str(build_dir), "--target", "test_verify",
          "-j", str(jobs)],
         capture_output=True, text=True)
     if build.returncode != 0:
-        return "build-error", build.stderr[-2000:]
+        return "build-error", build.stderr[-2000:], None
     cmd = [str(Path(build_dir) / "tests" / "test_verify"),
            "--gtest_brief=1"]
     if gtest_filter:
@@ -314,16 +523,43 @@ def run_suite(build_dir, timeout, jobs, gtest_filter):
         run = subprocess.run(cmd, capture_output=True, text=True,
                              timeout=timeout)
     except subprocess.TimeoutExpired:
-        return "killed", "timeout (hang/livelock counts as detection)"
+        return "killed", "timeout (hang/livelock counts as detection)", \
+            "timeout"
     if run.returncode != 0:
-        # Keep the first failure line as the kill evidence.
+        out = run.stdout + run.stderr
+        failed = FAILED_TEST_RE.findall(out)
+        seeds = SEED_RE.findall(out)
+        killer = failed[0] if failed else "unknown-test"
+        if seeds:
+            killer += f" (seed {seeds[0]})"
         evidence = ""
-        for line in (run.stdout + run.stderr).splitlines():
+        for line in out.splitlines():
             if "FAILED" in line or "Failure" in line or "seed" in line:
                 evidence = line.strip()
                 break
-        return "killed", evidence
-    return "survived", ""
+        return "killed", evidence, killer
+    return "survived", "", None
+
+
+def campaign_table(results, waivers):
+    """The summary table: every mutant -> how it is accounted for."""
+    rows = []
+    for r in results:
+        if r["verdict"] == "killed":
+            account = f"killed by {r['killer']}"
+        elif r["waived"]:
+            account = f"waived: {waivers.get(r['id'], '')}"
+        else:
+            account = f"UNACCOUNTED ({r['verdict']})"
+        rows.append((r["id"], f"{r['file'].split('/')[-1]}:{r['line']}",
+                     r["mutation"], f"{r['seconds']:.1f}s", account))
+    widths = [max(len(row[i]) for row in rows) for i in range(4)] \
+        if rows else [0] * 4
+    lines = ["", "campaign summary:"]
+    for row in rows:
+        lines.append("  " + "  ".join(
+            row[i].ljust(widths[i]) for i in range(4)) + "  " + row[4])
+    return "\n".join(lines)
 
 
 def cmd_test(args):
@@ -338,13 +574,19 @@ def cmd_test(args):
     sites = mutable_sites(args.files or MUTATE_SCOPE)
     if args.only:
         wanted = set(args.only.split(","))
+        unknown = wanted - {s.mutant_id for s in sites}
+        if unknown:
+            raise SystemExit(
+                f"atomics_audit: --only names unknown mutants "
+                f"{sorted(unknown)}; re-run list (content-hash IDs change "
+                "when their line's text changes)")
         sites = [s for s in sites if s.mutant_id in wanted]
     waivers = read_waivers()
     docs = DOCS_FILE.read_text() if DOCS_FILE.exists() else ""
 
     print(f"atomics_audit: baseline run ({len(sites)} mutants queued)")
-    verdict, detail = run_suite(build_dir, args.timeout, args.jobs,
-                                args.filter)
+    verdict, detail, _ = run_suite(build_dir, args.timeout, args.jobs,
+                                   args.filter)
     if verdict != "survived":
         raise SystemExit(
             f"atomics_audit: baseline suite is not green ({verdict}: "
@@ -355,8 +597,8 @@ def cmd_test(args):
         t0 = time.monotonic()
         original = apply_mutant(site)
         try:
-            verdict, detail = run_suite(build_dir, args.timeout, args.jobs,
-                                        args.filter)
+            verdict, detail, killer = run_suite(build_dir, args.timeout,
+                                                args.jobs, args.filter)
         finally:
             site.path.write_text(original)
         elapsed = time.monotonic() - t0
@@ -368,19 +610,20 @@ def cmd_test(args):
             "context": site.context,
             "verdict": verdict,
             "detail": detail,
+            "killer": killer,
             "waived": site.mutant_id in waivers,
             "seconds": round(elapsed, 1),
         })
         status = verdict.upper()
         if verdict == "survived" and site.mutant_id in waivers:
             status = "SURVIVED (waived)"
-        print(f"  {site.mutant_id:8s} {site.rel}:{site.line:<4d} "
+        print(f"  {site.mutant_id:12s} {site.rel}:{site.line:<4d} "
               f"{site.order:>8s}->{site.replacement:<8s} {status:20s} "
               f"[{elapsed:5.1f}s] {detail[:80]}")
 
     # Restore-sanity rebuild so the tree is never left mutated.
-    verdict, detail = run_suite(build_dir, args.timeout, args.jobs,
-                                args.filter)
+    verdict, detail, _ = run_suite(build_dir, args.timeout, args.jobs,
+                                   args.filter)
     if verdict != "survived":
         raise SystemExit(
             f"atomics_audit: tree not green after restore ({detail})")
@@ -404,15 +647,22 @@ def cmd_test(args):
                 "schedule (strengthen tests/test_verify.cpp); to defer, add "
                 "it to tools/lint/mutant_waivers.txt AND document it in "
                 "docs/CONCURRENCY.md")
+    tested_ids = {r["id"] for r in results}
     for mid, reason in waivers.items():
         if mid not in docs:
             errors.append(
                 f"waiver {mid} is not documented in docs/CONCURRENCY.md "
                 "(every survivor needs its invariant analysis on record)")
+        if not args.only and args.files is None and mid not in tested_ids:
+            errors.append(
+                f"waiver {mid} matches no enumerated mutant — the site "
+                "changed or vanished; re-run list and refresh the waiver")
     for r in killed:
         if r["waived"]:
             print(f"  note: waiver {r['id']} is stale — the suite now kills "
                   "it; remove the waiver and the docs entry")
+
+    print(campaign_table(results, waivers))
 
     scored = [r for r in results if not r["waived"]]
     rate = (len([r for r in scored if r["verdict"] == "killed"]) /
@@ -444,8 +694,15 @@ def main():
     p_list.set_defaults(fn=cmd_list)
 
     p_check = sub.add_parser("check", help="lint the memory-order discipline")
-    p_check.add_argument("--files", nargs="*", default=None)
+    p_check.add_argument("--files", nargs="*", default=None,
+                         help="override the auto-discovered src/ scope")
+    p_check.add_argument("--verbose", action="store_true",
+                         help="also print the allow(raw-atomic) inventory")
     p_check.set_defaults(fn=cmd_check)
+
+    p_self = sub.add_parser("selftest",
+                            help="negative tests for the linter itself")
+    p_self.set_defaults(fn=cmd_selftest)
 
     p_mut = sub.add_parser("mutate", help="apply one mutant in place")
     p_mut.add_argument("--id", required=True)

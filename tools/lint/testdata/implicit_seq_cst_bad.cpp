@@ -1,0 +1,11 @@
+// Fixture: an atomic operation without an explicit order must be flagged.
+#include <atomic>
+
+namespace fixture {
+// lint:allow(raw-atomic): fixture exercises the implicit-seq-cst check only.
+std::atomic<int> flag{0};
+
+inline void set_it() {
+  flag.store(1);  // implicit seq_cst: finding expected
+}
+}  // namespace fixture

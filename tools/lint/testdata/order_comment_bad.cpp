@@ -1,0 +1,13 @@
+// Fixture: a memory-order site with no nearby ordering comment is flagged.
+#include <atomic>
+
+namespace fixture {
+// lint:allow(raw-atomic): fixture exercises the order-comment check only.
+std::atomic<int> cell{0};
+
+inline int get_it() {
+  int x = 1 + 2;
+  (void)x;
+  return cell.load(std::memory_order_acquire);
+}
+}  // namespace fixture

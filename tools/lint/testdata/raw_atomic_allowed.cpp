@@ -1,0 +1,13 @@
+// Fixture: a justified raw atomic with an allow pragma must pass clean.
+#include <atomic>
+
+namespace fixture {
+// lint:allow(raw-atomic): fixture-level justification — sits below the
+// verify model in this synthetic translation unit.
+std::atomic<int> counter{0};
+
+inline int read_it() {
+  // relaxed: monitoring-only counter read, no ordering required.
+  return counter.load(std::memory_order_relaxed);
+}
+}  // namespace fixture

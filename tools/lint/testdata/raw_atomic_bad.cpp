@@ -1,0 +1,6 @@
+// Fixture: a raw std::atomic with no allow pragma must be flagged.
+#include <atomic>
+
+namespace fixture {
+std::atomic<int> counter{0};  // no lint pragma above: finding expected
+}  // namespace fixture

@@ -1,0 +1,70 @@
+// TSA positive fixture: the same shape as tsa_violation.cpp with the lock
+// discipline honored everywhere. Must compile warning-free under clang
+// -Werror=thread-safety, proving the annotations (and the SpinGuard /
+// MutexLock scoped capabilities) do not false-positive on correct code.
+#include <condition_variable>
+#include <vector>
+
+#include "concurrent/spinlock.hpp"
+#include "support/thread_safety.hpp"
+
+namespace {
+
+class Account {
+ public:
+  void deposit_locked(int amount) WASP_REQUIRES(lock_) { balance_ += amount; }
+
+  int read() {
+    wasp::SpinGuard guard(lock_);
+    return balance_;
+  }
+
+  void write(int v) {
+    wasp::SpinGuard guard(lock_);
+    balance_ = v;
+  }
+
+  void call(int v) {
+    wasp::SpinGuard guard(lock_);
+    deposit_locked(v);
+  }
+
+ private:
+  wasp::SpinLock lock_;
+  int balance_ WASP_GUARDED_BY(lock_) = 0;
+};
+
+// The service-layer pattern: Mutex + MutexLock + condition_variable_any
+// with an explicit predicate loop (guarded reads in analyzed code).
+class Queue {
+ public:
+  void push(int v) {
+    wasp::MutexLock lock(mu_);
+    items_.push_back(v);
+    cv_.notify_one();
+  }
+
+  int pop_blocking() {
+    wasp::MutexLock lock(mu_);
+    while (items_.empty()) cv_.wait(lock);
+    const int v = items_.back();
+    items_.pop_back();
+    return v;
+  }
+
+ private:
+  wasp::Mutex mu_;
+  std::condition_variable_any cv_;
+  std::vector<int> items_ WASP_GUARDED_BY(mu_);
+};
+
+}  // namespace
+
+int tsa_clean_entry() {
+  Account a;
+  a.write(1);
+  a.call(2);
+  Queue q;
+  q.push(3);
+  return a.read() + q.pop_blocking();
+}

@@ -1,0 +1,56 @@
+// TSA negative fixture: every access below breaks the lock discipline the
+// annotations declare. tsa_check.py compiles this with clang
+// -Werror=thread-safety and REQUIRES the compile to FAIL — if it passes,
+// the analysis is silently off (wrong flags, macros expanded to nothing
+// under clang, annotation typo) and the check must go red.
+//
+// Deliberate violations, in order:
+//   1. read of a GUARDED_BY field with no lock held
+//   2. write of a GUARDED_BY field with no lock held
+//   3. call of a REQUIRES(lock) method with no lock held
+//   4. unlock without holding (released twice via guard + manual unlock)
+#include <vector>
+
+#include "concurrent/spinlock.hpp"
+#include "support/thread_safety.hpp"
+
+namespace {
+
+class Account {
+ public:
+  // Violation 3 target: contract says lock_ must be held.
+  void deposit_locked(int amount) WASP_REQUIRES(lock_) {
+    balance_ += amount;
+  }
+
+  int bad_read() {
+    return balance_;  // violation 1: no lock
+  }
+
+  void bad_write(int v) {
+    balance_ = v;  // violation 2: no lock
+  }
+
+  void bad_call(int v) {
+    deposit_locked(v);  // violation 3: REQUIRES not satisfied
+  }
+
+  void bad_unlock() {
+    wasp::SpinGuard guard(lock_);
+    lock_.unlock();  // violation 4: guard still owns the capability
+  }
+
+ private:
+  wasp::SpinLock lock_;
+  int balance_ WASP_GUARDED_BY(lock_) = 0;
+};
+
+}  // namespace
+
+int tsa_violation_entry() {
+  Account a;
+  a.bad_write(1);
+  a.bad_call(2);
+  a.bad_unlock();
+  return a.bad_read();
+}

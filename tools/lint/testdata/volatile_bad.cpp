@@ -1,0 +1,5 @@
+// Fixture: bare volatile must be flagged.
+
+namespace fixture {
+volatile int not_a_sync_tool = 0;  // finding expected
+}  // namespace fixture

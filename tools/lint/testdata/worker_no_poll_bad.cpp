@@ -1,0 +1,22 @@
+// Fixture: a parallel worker loop that never polls the CancelToken.
+// The cancel-poll check must flag this file (forced into worker scope by
+// the selftest; real scope is src/sssp/*.cpp containing team.run).
+
+namespace fixture {
+struct Ctx {
+  template <typename F>
+  void run(F&& f) { f(0); }
+};
+struct RunContext {
+  Ctx team;
+};
+
+inline void uncancellable_sssp(RunContext& ctx) {
+  ctx.team.run([&](int) {
+    for (;;) {
+      // spins forever: no stop_requested() / poll_cancel() anywhere
+      break;
+    }
+  });
+}
+}  // namespace fixture

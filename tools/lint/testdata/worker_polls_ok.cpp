@@ -1,0 +1,22 @@
+// Fixture: a worker loop that polls cancellation passes the cancel-poll
+// check (forced into worker scope by the selftest).
+
+namespace fixture {
+struct Ctx {
+  template <typename F>
+  void run(F&& f) { f(0); }
+};
+struct RunContext {
+  Ctx team;
+  bool stop_requested() { return false; }
+};
+
+inline void cancellable_sssp(RunContext& ctx) {
+  ctx.team.run([&](int) {
+    for (;;) {
+      if (ctx.stop_requested()) break;
+      break;
+    }
+  });
+}
+}  // namespace fixture

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Clang Thread Safety Analysis gate.
+
+Three checks, all under ``-Wthread-safety -Werror=thread-safety``:
+
+  1. *Real sources stay clean* — the annotated translation units
+     (service, multiqueue, obim) compile warning-free, so every
+     GUARDED_BY / REQUIRES contract in the repo is honored.
+  2. *Positive fixture* — tools/lint/testdata/tsa_clean.cpp compiles,
+     proving the annotations do not false-positive on correct code.
+  3. *Negative fixture* — tools/lint/testdata/tsa_violation.cpp FAILS to
+     compile. This is the self-test of the gate itself: if the deliberate
+     violations slide through, the analysis is silently off (macro
+     expansion, flag, or toolchain problem) and we exit non-zero.
+
+Exit codes: 0 = all checks passed, 1 = a check failed,
+77 = no clang++ on PATH (ctest SKIP_RETURN_CODE; the GCC-only container
+skips, CI installs clang and runs it for real).
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+
+# TUs whose annotations guard real concurrent state. Compiled syntax-only:
+# no objects, no link, just the analysis.
+REAL_SOURCES = [
+    "src/service/service.cpp",
+    "src/concurrent/multiqueue.cpp",
+    "src/sssp/obim.cpp",
+]
+
+BASE_FLAGS = [
+    "-std=c++20",
+    "-fsyntax-only",
+    "-Wthread-safety",
+    "-Werror=thread-safety",
+    f"-I{REPO / 'src'}",
+]
+
+
+def find_clang() -> str | None:
+    """Newest clang++ on PATH (plain name first, then versioned)."""
+    candidates = ["clang++"] + [f"clang++-{v}" for v in range(25, 13, -1)]
+    for name in candidates:
+        if shutil.which(name):
+            return name
+    return None
+
+
+def compile_tu(clang: str, tu: Path) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [clang, *BASE_FLAGS, str(tu)],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+    )
+
+
+def main() -> int:
+    clang = find_clang()
+    if clang is None:
+        print("tsa_check: no clang++ on PATH; skipping (exit 77)")
+        return 77
+
+    failures = 0
+
+    for rel in REAL_SOURCES + ["tools/lint/testdata/tsa_clean.cpp"]:
+        proc = compile_tu(clang, REPO / rel)
+        if proc.returncode != 0:
+            failures += 1
+            print(f"tsa_check: FAIL  {rel} (expected clean):")
+            print(proc.stderr)
+        else:
+            print(f"tsa_check: ok    {rel}")
+
+    violation = "tools/lint/testdata/tsa_violation.cpp"
+    proc = compile_tu(clang, REPO / violation)
+    if proc.returncode == 0:
+        failures += 1
+        print(f"tsa_check: FAIL  {violation} compiled cleanly — the")
+        print("  deliberate lock-discipline violations were not diagnosed,")
+        print("  so -Wthread-safety is not actually analyzing anything.")
+    elif "thread-safety" not in proc.stderr and "-Wthread-safety" not in proc.stderr:
+        failures += 1
+        print(f"tsa_check: FAIL  {violation} failed for the wrong reason")
+        print("  (expected thread-safety diagnostics):")
+        print(proc.stderr)
+    else:
+        diags = proc.stderr.count("error:")
+        print(f"tsa_check: ok    {violation} rejected ({diags} diagnostics)")
+
+    if failures:
+        print(f"tsa_check: {failures} check(s) failed  [{clang}]")
+        return 1
+    print(f"tsa_check: all checks passed  [{clang}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
