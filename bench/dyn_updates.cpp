@@ -1,0 +1,218 @@
+// Dynamic-update repair throughput: a VersionedGraph absorbing seeded
+// traffic batches (weight jams and clearings) while an IncrementalSolver
+// keeps one (graph, source) answer fresh — repairing only the affected
+// cone — against a second pooled Solver re-solving from scratch after every
+// batch. Every batch's repaired distances are checked bit-identical to the
+// from-scratch answer before timing is trusted.
+//
+// Besides the table, writes a machine-readable JSON report (default
+// BENCH_dyn.json; tools/bench_check.py validates it, and the ctest smoke
+// job runs a tiny instance with --schema-only).
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "graph/delta.hpp"
+#include "harness.hpp"
+#include "sssp/incremental.hpp"
+#include "support/random.hpp"
+#include "support/stats.hpp"
+#include "support/timer.hpp"
+
+using namespace wasp;
+
+namespace {
+
+struct Row {
+  std::string graph;
+  std::string algo;
+  int batches = 0;
+  int ops_per_batch = 0;
+  double repair_ms = 0.0;  ///< median incremental repair wall time
+  double full_ms = 0.0;    ///< median from-scratch re-solve wall time
+  double speedup = 0.0;    ///< full_ms / repair_ms
+  double mean_cone = 0.0;
+  double mean_seeds = 0.0;
+  int incremental_repairs = 0;
+  int full_solves = 0;
+  bool exact = true;  ///< repaired == from-scratch after every batch
+};
+
+/// One existing arc, sampled from the current graph state.
+WEdge sample_arc(const VersionedGraph& vg, Xoshiro256& rng, VertexId* src) {
+  for (;;) {
+    const auto u = static_cast<VertexId>(rng.next_below(vg.num_vertices()));
+    const auto adj = vg.out_neighbors(u);
+    if (adj.empty()) continue;
+    *src = u;
+    return adj[rng.next_below(adj.size())];
+  }
+}
+
+void write_json(const std::string& path, int threads, int batches, int ops,
+                double scale, const std::vector<Row>& rows) {
+  std::ofstream out(path);
+  out << "{\n"
+      << "  \"schema_version\": 1,\n"
+      << "  \"bench\": \"dyn_updates\",\n"
+      << "  \"threads\": " << threads << ",\n"
+      << "  \"batches\": " << batches << ",\n"
+      << "  \"ops_per_batch\": " << ops << ",\n"
+      << "  \"scale\": " << scale << ",\n"
+      << "  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"graph\": \"%s\", \"algo\": \"%s\", \"batches\": %d, "
+        "\"ops_per_batch\": %d, \"repair_ms\": %.6f, \"full_ms\": %.6f, "
+        "\"speedup\": %.3f, \"mean_cone\": %.1f, \"mean_seeds\": %.1f, "
+        "\"incremental_repairs\": %d, \"full_solves\": %d, \"exact\": %s}%s\n",
+        r.graph.c_str(), r.algo.c_str(), r.batches, r.ops_per_batch,
+        r.repair_ms, r.full_ms, r.speedup, r.mean_cone, r.mean_seeds,
+        r.incremental_repairs, r.full_solves, r.exact ? "true" : "false",
+        i + 1 < rows.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args("dyn_updates",
+                 "incremental repair vs from-scratch re-solve under batched "
+                 "graph updates");
+  bench::add_common_args(args);
+  args.add_int("batches", 16, "update batches per graph");
+  args.add_int("ops", 32, "weight-change operations per batch");
+  args.add_string("out", "BENCH_dyn.json", "machine-readable report path");
+  args.parse(argc, argv);
+
+  const int threads = static_cast<int>(args.get_int("threads"));
+  const int batches =
+      static_cast<int>(std::max<std::int64_t>(1, args.get_int("batches")));
+  const int ops =
+      static_cast<int>(std::max<std::int64_t>(1, args.get_int("ops")));
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+  std::printf("Dynamic updates: %d batches x %d weight changes; incremental "
+              "repair vs from-scratch (algo=wasp, threads=%d)\n\n",
+              batches, ops, threads);
+  bench::print_cell("graph", 7);
+  bench::print_cell("repair", 12);
+  bench::print_cell("full", 12);
+  bench::print_cell("speedup", 9);
+  bench::print_cell("cone", 9);
+  bench::print_cell("seeds", 9);
+  bench::print_cell("check", 7);
+  std::printf("\n");
+
+  std::vector<Row> rows;
+  bool all_exact = true;
+  for (const auto cls : bench::selected_classes(args)) {
+    auto w = suite::make(cls, args.get_double("scale"), seed);
+    const VertexId source = w.source;
+    const Weight max_w = std::max<Weight>(1, w.graph.max_weight());
+    VersionedGraph vg(std::move(w.graph));
+
+    SsspOptions options;
+    options.algo = Algorithm::kWasp;
+    options.threads = threads;
+    options.delta = bench::default_delta(Algorithm::kWasp, cls);
+
+    IncrementalSolver inc(options);
+    Solver& scratch = bench::make_solver(threads);
+    scratch.options().algo = Algorithm::kWasp;
+    scratch.options().delta = options.delta;
+
+    // Warm both sides before timing: the incremental solver binds its warm
+    // (graph, source) state, the scratch solver pays its one epoch sweep.
+    (void)inc.solve(vg, source);
+    (void)scratch.solve(vg.graph(), source);
+
+    Row row;
+    row.graph = suite::abbr(cls);
+    row.algo = "wasp";
+    row.batches = batches;
+    row.ops_per_batch = ops;
+
+    Xoshiro256 rng(seed ^ 0xD15EA5EDULL);
+    std::vector<double> repair_times;
+    std::vector<double> full_times;
+    std::uint64_t cone_total = 0;
+    std::uint64_t seed_total = 0;
+    for (int b = 0; b < batches; ++b) {
+      // Traffic tick: half the arcs jam (weight x4, saturating at 8x the
+      // base maximum), half settle back into the base weight range.
+      GraphDelta delta;
+      for (int op = 0; op < ops; ++op) {
+        VertexId u = 0;
+        const WEdge e = sample_arc(vg, rng, &u);
+        if (op % 2 == 0) {
+          const auto jam = static_cast<Weight>(std::min<std::uint64_t>(
+              std::uint64_t{e.w} * 4, std::uint64_t{max_w} * 8));
+          delta.set_weight(u, e.dst, std::max<Weight>(1, jam));
+        } else {
+          delta.set_weight(
+              u, e.dst,
+              static_cast<Weight>(1 + rng.next_below(max_w)));
+        }
+      }
+      (void)vg.apply(delta);
+
+      Timer rt;
+      const std::vector<Distance>& repaired = inc.solve(vg, source);
+      repair_times.push_back(rt.seconds());
+      const RepairStats& rs = inc.last_repair();
+      if (rs.full_solve) {
+        row.full_solves += 1;
+      } else {
+        row.incremental_repairs += 1;
+        cone_total += rs.cone_vertices;
+        seed_total += rs.seed_vertices;
+      }
+
+      Timer ft;
+      const SsspResult full = scratch.solve(vg.graph(), source);
+      full_times.push_back(ft.seconds());
+
+      if (full.dist != repaired) row.exact = false;
+    }
+
+    row.repair_ms = median(repair_times) * 1e3;
+    row.full_ms = median(full_times) * 1e3;
+    row.speedup = row.repair_ms > 0 ? row.full_ms / row.repair_ms : 0.0;
+    const int inc_count = std::max(1, row.incremental_repairs);
+    row.mean_cone =
+        static_cast<double>(cone_total) / static_cast<double>(inc_count);
+    row.mean_seeds =
+        static_cast<double>(seed_total) / static_cast<double>(inc_count);
+    all_exact = all_exact && row.exact;
+    rows.push_back(row);
+
+    char cell[32];
+    bench::print_cell(row.graph, 7);
+    bench::print_cell(bench::format_time_ms(row.repair_ms / 1e3), 12);
+    bench::print_cell(bench::format_time_ms(row.full_ms / 1e3), 12);
+    std::snprintf(cell, sizeof(cell), "%.2fx", row.speedup);
+    bench::print_cell(cell, 9);
+    std::snprintf(cell, sizeof(cell), "%.0f", row.mean_cone);
+    bench::print_cell(cell, 9);
+    std::snprintf(cell, sizeof(cell), "%.0f", row.mean_seeds);
+    bench::print_cell(cell, 9);
+    bench::print_cell(row.exact ? "exact" : "MISMATCH", 7);
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+
+  const std::string out_path = args.get_string("out");
+  write_json(out_path, threads, batches, ops, args.get_double("scale"), rows);
+  std::printf("\nreport written to %s\n", out_path.c_str());
+  std::printf("Expectation: small-cone repair beats from-scratch re-solve; "
+              "distances bit-identical after every batch.\n");
+  return all_exact ? 0 : 1;
+}

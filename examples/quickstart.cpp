@@ -2,12 +2,14 @@
 //
 //   ./quickstart
 //
-// Demonstrates the two core public entry points: Graph::from_edges and
-// run_sssp with the Wasp algorithm.
+// Demonstrates the two core public entry points: GraphBuilder for
+// construction and wasp::Solver for queries (the Solver owns the thread
+// team and the epoch-versioned distance pool, so repeat queries skip the
+// O(V) reinitialization).
 #include <cstdio>
 
-#include "graph/graph.hpp"
-#include "sssp/sssp.hpp"
+#include "graph/builder.hpp"
+#include "sssp/solver.hpp"
 
 int main() {
   // The sample graph of the paper's Figure 1: a small weighted digraph.
@@ -18,17 +20,20 @@ int main() {
   //   v         v        |
   //   2 ------> 4 -------+
   //        5        (4,3,1)
-  const wasp::Graph graph = wasp::Graph::from_edges(
-      5,
-      {{0, 1, 1}, {0, 2, 4}, {1, 3, 3}, {1, 4, 2}, {2, 4, 5}, {4, 3, 1}},
-      /*undirected=*/false);
+  const wasp::Graph graph =
+      wasp::GraphBuilder()
+          .edges(5, {{0, 1, 1}, {0, 2, 4}, {1, 3, 3}, {1, 4, 2}, {2, 4, 5},
+                     {4, 3, 1}})
+          .undirected(false)
+          .build();
 
   wasp::SsspOptions options;
   options.algo = wasp::Algorithm::kWasp;
   options.threads = 4;
   options.delta = 1;  // fine-grained priorities: Wasp's recommended default
 
-  const wasp::SsspResult result = wasp::run_sssp(graph, /*source=*/0, options);
+  wasp::Solver solver(options);
+  const wasp::SsspResult result = solver.solve(graph, /*source=*/0);
 
   std::printf("shortest distances from vertex 0:\n");
   for (wasp::VertexId v = 0; v < graph.num_vertices(); ++v) {

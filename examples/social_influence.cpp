@@ -12,7 +12,7 @@
 
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
-#include "sssp/sssp.hpp"
+#include "sssp/solver.hpp"
 #include "support/cli.hpp"
 
 int main(int argc, char** argv) {
@@ -48,11 +48,15 @@ int main(int argc, char** argv) {
   const auto budget = static_cast<wasp::Distance>(args.get_int("budget"));
   const auto num_seeds = static_cast<int>(args.get_int("seeds"));
 
+  // One Solver for all seeds: repeat queries reuse the team and the pooled
+  // distance array (epoch reset instead of an O(V) sweep per query).
+  wasp::Solver solver(options);
+
   std::printf("\n%-10s %-8s %-12s %-14s %-10s\n", "seed", "degree",
               "reach<=budget", "closeness", "time(ms)");
   for (int s = 0; s < num_seeds; ++s) {
     const wasp::VertexId seed = by_degree[static_cast<std::size_t>(s)];
-    const wasp::SsspResult r = wasp::run_sssp(network, seed, options);
+    const wasp::SsspResult r = solver.solve(network, seed);
 
     std::uint64_t reach = 0;
     double closeness_sum = 0.0;

@@ -13,6 +13,7 @@
 #include "graph/io.hpp"
 #include "graph/suite.hpp"
 #include "sssp/contracted.hpp"
+#include "sssp/solver.hpp"
 #include "sssp/sssp.hpp"
 #include "sssp/validate.hpp"
 #include "support/cli.hpp"
@@ -86,6 +87,11 @@ int run(int argc, char** argv) {
   std::vector<double> times;
   wasp::SsspResult result;
   const auto trials = static_cast<int>(args.get_int("trials"));
+  // Trials share one Solver, so repeat timings measure the algorithm (epoch
+  // reset), not repeated team spawns and distance-array initializations.
+  // The contracted pipeline keeps its own entry point (it solves a reduced
+  // graph and re-expands).
+  wasp::Solver solver(options);
   for (int t = 0; t < trials; ++t) {
     if (args.get_flag("contract")) {
       wasp::ContractedResult cr =
@@ -97,7 +103,7 @@ int run(int argc, char** argv) {
                     cr.preprocess_seconds * 1e3);
       result = std::move(cr.result);
     } else {
-      result = wasp::run_sssp(graph, source, options);
+      result = solver.solve(graph, source);
     }
     times.push_back(result.stats.seconds);
   }

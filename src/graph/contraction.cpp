@@ -1,5 +1,7 @@
 #include "graph/contraction.hpp"
 
+#include "graph/builder.hpp"
+
 #include <stdexcept>
 
 namespace wasp {
@@ -58,7 +60,10 @@ PendantContraction PendantContraction::contract(const Graph& g, VertexId keep) {
   // Handle u < dst pairs missed above: the loop emits when dst < u only, so
   // pairs with u < dst are emitted from the other endpoint. Self-pairs are
   // impossible (no self-loops).
-  pc.core_ = Graph::from_edges(n, core_edges, /*undirected=*/true);
+  pc.core_ = GraphBuilder()
+                 .edges(n, std::move(core_edges))
+                 .undirected(true)
+                 .build();
   return pc;
 }
 

@@ -1,0 +1,235 @@
+#include "graph/delta.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "graph/builder.hpp"
+#include "support/errors.hpp"
+
+namespace wasp {
+
+namespace {
+
+/// Arcs a logical update expands to: (u,v) always, plus (v,u) on undirected
+/// graphs (every edge is stored in both directions, as in from_edges).
+struct ArcPair {
+  VertexId a_src, a_dst;
+  bool mirrored;
+  VertexId b_src, b_dst;
+};
+
+ArcPair expand(const EdgeUpdate& op, bool undirected) {
+  return {op.src, op.dst, undirected, op.dst, op.src};
+}
+
+}  // namespace
+
+VersionedGraph::VersionedGraph(Graph base)
+    : flat_(std::move(base)),
+      overlay_index_(flat_.num_vertices(), kNoOverlay),
+      live_edges_(flat_.num_edges()) {}
+
+void VersionedGraph::validate_batch(const GraphDelta& delta) const {
+  // Dry run: check every op against the graph state *plus the batch's own
+  // staged structural changes*, so apply() either applies the whole batch or
+  // throws with the graph untouched.
+  std::map<std::pair<VertexId, VertexId>, std::int64_t> staged;
+  const VertexId n = num_vertices();
+  auto arc_count = [&](VertexId u, VertexId v) {
+    std::int64_t count = 0;
+    for (const WEdge& e : out_neighbors(u))
+      if (e.dst == v) ++count;
+    auto it = staged.find({u, v});
+    if (it != staged.end()) count += it->second;
+    return count;
+  };
+  for (const EdgeUpdate& op : delta.ops()) {
+    if (op.src >= n || op.dst >= n) {
+      std::ostringstream os;
+      os << "VersionedGraph::apply: edge (" << op.src << ", " << op.dst
+         << ") out of range [0, " << n << ")";
+      throw InvalidGraphError(os.str());
+    }
+    if (op.src == op.dst) {
+      std::ostringstream os;
+      os << "VersionedGraph::apply: self-loop on vertex " << op.src
+         << " (the edge set excludes u == v, as in Graph::from_edges)";
+      throw InvalidGraphError(os.str());
+    }
+    switch (op.op) {
+      case EdgeUpdate::Op::kSetWeight:
+      case EdgeUpdate::Op::kErase: {
+        if (arc_count(op.src, op.dst) <= 0) {
+          std::ostringstream os;
+          os << "VersionedGraph::apply: "
+             << (op.op == EdgeUpdate::Op::kErase ? "erase" : "set_weight")
+             << " on missing edge (" << op.src << ", " << op.dst << ")";
+          throw InvalidGraphError(os.str());
+        }
+        if (op.op == EdgeUpdate::Op::kErase) {
+          const std::int64_t gone = arc_count(op.src, op.dst);
+          staged[{op.src, op.dst}] -= gone;
+          if (is_undirected()) staged[{op.dst, op.src}] -= gone;
+        }
+        break;
+      }
+      case EdgeUpdate::Op::kInsert:
+        staged[{op.src, op.dst}] += 1;
+        if (is_undirected()) staged[{op.dst, op.src}] += 1;
+        break;
+    }
+  }
+}
+
+std::vector<WEdge>& VersionedGraph::overlay_for(VertexId u) {
+  if (overlay_index_[u] == kNoOverlay) {
+    overlay_index_[u] = static_cast<std::uint32_t>(overlay_.size());
+    const std::span<const WEdge> base = flat_.out_neighbors(u);
+    overlay_.emplace_back(base.begin(), base.end());
+    ++overlay_live_;
+  }
+  return overlay_[overlay_index_[u]];
+}
+
+std::size_t VersionedGraph::apply_arc(EdgeUpdate::Op op, VertexId u,
+                                      VertexId v, Weight w) {
+  switch (op) {
+    case EdgeUpdate::Op::kSetWeight: {
+      // In place: weight-only changes never dirty the overlay. Every
+      // parallel (u, v) arc collapses to the one new weight, so the sorted-
+      // by-(dst, w) layout from_edges produced stays sorted.
+      std::size_t touched = 0;
+      WEdge* edges;
+      std::size_t count;
+      if (overlay_index_[u] != kNoOverlay) {
+        auto& list = overlay_[overlay_index_[u]];
+        edges = list.data();
+        count = list.size();
+      } else {
+        edges = flat_.adjacency_.data() + flat_.offsets_[u];
+        count = static_cast<std::size_t>(flat_.out_degree(u));
+      }
+      for (std::size_t i = 0; i < count; ++i) {
+        if (edges[i].dst == v && edges[i].w != w) {
+          effects_.push_back({u, v, edges[i].w, w, true, true});
+          edges[i].w = w;
+          ++touched;
+        }
+      }
+      return touched;
+    }
+    case EdgeUpdate::Op::kInsert: {
+      std::vector<WEdge>& list = overlay_for(u);
+      const WEdge rec{v, w};
+      // Sorted insertion keeps the overlaid list in the (dst, w) order a
+      // from_edges rebuild would produce, so compaction round-trips exactly.
+      auto pos = std::lower_bound(
+          list.begin(), list.end(), rec, [](const WEdge& a, const WEdge& b) {
+            return a.dst < b.dst || (a.dst == b.dst && a.w < b.w);
+          });
+      list.insert(pos, rec);
+      effects_.push_back({u, v, 0, w, false, true});
+      ++live_edges_;
+      return 1;
+    }
+    case EdgeUpdate::Op::kErase: {
+      std::vector<WEdge>& list = overlay_for(u);
+      std::size_t touched = 0;
+      for (auto it = list.begin(); it != list.end();) {
+        if (it->dst == v) {
+          effects_.push_back({u, v, it->w, 0, true, false});
+          it = list.erase(it);
+          ++touched;
+          --live_edges_;
+        } else {
+          ++it;
+        }
+      }
+      return touched;
+    }
+  }
+  return 0;
+}
+
+std::uint64_t VersionedGraph::apply(const GraphDelta& delta) {
+  if (delta.empty()) return version_;  // no-op: no bump, no journal entry
+  validate_batch(delta);
+
+  std::size_t touched = 0;
+  for (const EdgeUpdate& op : delta.ops()) {
+    const ArcPair arcs = expand(op, is_undirected());
+    touched += apply_arc(op.op, arcs.a_src, arcs.a_dst, op.w);
+    if (arcs.mirrored) touched += apply_arc(op.op, arcs.b_src, arcs.b_dst, op.w);
+  }
+  effects_applied_ += touched;
+  ++version_;
+  batch_ends_.emplace_back(version_, effects_.size());
+  trim_journal();
+  return version_;
+}
+
+void VersionedGraph::compact() {
+  if (!dirty()) return;
+  const VertexId n = num_vertices();
+  std::vector<EdgeIndex> offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (VertexId u = 0; u < n; ++u)
+    offsets[u + 1] = offsets[u] + out_neighbors(u).size();
+  AdjacencyVector adjacency(offsets[n]);
+  for (VertexId u = 0; u < n; ++u) {
+    const std::span<const WEdge> list = out_neighbors(u);
+    std::copy(list.begin(), list.end(), adjacency.begin() +
+              static_cast<std::ptrdiff_t>(offsets[u]));
+  }
+  // Through the one construction front door (GraphBuilder), so the flat
+  // rebuild revalidates exactly like every other producer.
+  flat_ = GraphBuilder()
+              .csr(std::move(offsets), std::move(adjacency))
+              .undirected(is_undirected())
+              .build();
+  overlay_.clear();
+  std::fill(overlay_index_.begin(), overlay_index_.end(), kNoOverlay);
+  overlay_live_ = 0;
+  ++compactions_;
+}
+
+VersionedGraph::JournalView VersionedGraph::journal_since(
+    std::uint64_t since) const {
+  JournalView view;
+  if (since > version_ || since < journal_floor_) return view;  // ok = false
+  view.ok = true;
+  if (since == version_) return view;  // nothing newer; empty span
+  // First batch with version > since: its effects start where the previous
+  // batch ended.
+  std::size_t start = 0;
+  for (const auto& [version, end] : batch_ends_) {
+    if (version > since) break;
+    start = end;
+  }
+  view.effects = {effects_.data() + start, effects_.size() - start};
+  return view;
+}
+
+void VersionedGraph::trim_journal() {
+  if (effects_.size() <= journal_limit_) return;
+  // Drop whole batches from the front until the remainder fits. A single
+  // batch larger than the cap is dropped too — the floor then rises to the
+  // current version and only catch-up from HEAD stays possible.
+  std::size_t drop = 0;
+  while (drop < batch_ends_.size() &&
+         effects_.size() - (drop == 0 ? 0 : batch_ends_[drop - 1].second) >
+             journal_limit_) {
+    ++drop;
+  }
+  if (drop == 0) return;
+  const std::size_t drop_effects = batch_ends_[drop - 1].second;
+  journal_floor_ = batch_ends_[drop - 1].first;
+  effects_.erase(effects_.begin(),
+                 effects_.begin() + static_cast<std::ptrdiff_t>(drop_effects));
+  batch_ends_.erase(batch_ends_.begin(),
+                    batch_ends_.begin() + static_cast<std::ptrdiff_t>(drop));
+  for (auto& [version, end] : batch_ends_) end -= drop_effects;
+}
+
+}  // namespace wasp

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "graph/builder.hpp"
+
 namespace wasp::gen {
 
 namespace {
@@ -12,7 +14,10 @@ namespace {
 Graph finish(VertexId n, std::vector<Edge>& edges, const WeightScheme& ws,
              std::uint64_t seed, bool undirected) {
   assign_weights(edges, ws, hash_mix(seed ^ 0x5eedULL));
-  return Graph::from_edges(n, edges, undirected);
+  return GraphBuilder()
+      .edges(n, std::move(edges))
+      .undirected(undirected)
+      .build();
 }
 
 }  // namespace

@@ -82,10 +82,16 @@ class Graph {
   /// Self-loops are dropped (the paper's edge set excludes u == v). When
   /// `undirected` is true every input edge {u,v} is stored as both (u,v) and
   /// (v,u) with the same weight; num_edges() then counts both directions.
+  ///
+  /// Deprecated shim: delegates to GraphBuilder (graph/builder.hpp), the one
+  /// front door for construction — prefer
+  /// GraphBuilder().edges(n, edges).undirected(u).build() in new code (it can
+  /// move the edge vector and can finish with build_versioned()).
   static Graph from_edges(VertexId num_vertices, const std::vector<Edge>& edges,
                           bool undirected);
 
-  /// Builds directly from CSR arrays (used by I/O and transpose).
+  /// Builds directly from CSR arrays (used by I/O and transpose). Validation
+  /// lives here; GraphBuilder's csr() source routes through it.
   static Graph from_csr(std::vector<EdgeIndex> offsets, AdjacencyVector adjacency,
                         bool undirected);
 
@@ -142,6 +148,11 @@ class Graph {
   [[nodiscard]] Weight max_weight() const;
 
  private:
+  // VersionedGraph (graph/delta.hpp) patches edge weights in place — the one
+  // sanctioned mutation of a built CSR; it owns the version/journal bookkeeping
+  // that makes that safe.
+  friend class VersionedGraph;
+
   std::vector<EdgeIndex> offsets_;  // size n+1
   AdjacencyVector adjacency_;       // size num_edges()
   bool undirected_ = false;

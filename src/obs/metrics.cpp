@@ -35,6 +35,10 @@ const char* counter_name(CounterId id) {
     case CounterId::kQueryRetries: return "query_retries";
     case CounterId::kSolverRebuilds: return "solver_rebuilds";
     case CounterId::kWatchdogCancels: return "watchdog_cancels";
+    case CounterId::kRepairBatches: return "repair_batches";
+    case CounterId::kRepairConeVertices: return "repair_cone_vertices";
+    case CounterId::kRepairSeedVertices: return "repair_seed_vertices";
+    case CounterId::kGraphCompactions: return "graph_compactions";
   }
   return "?";
 }

@@ -56,8 +56,13 @@ enum class CounterId : std::uint8_t {
   kQueryRetries,           ///< solve attempts beyond each query's first
   kSolverRebuilds,         ///< quarantined Solvers rebuilt off the hot path
   kWatchdogCancels,        ///< overdue runs cancelled by the service watchdog
+  // --- incremental repair (graph/delta.hpp + sssp/incremental.hpp) ---------
+  kRepairBatches,      ///< delta batches repaired incrementally (not full)
+  kRepairConeVertices, ///< vertices invalidated into the increase cone
+  kRepairSeedVertices, ///< warm seeds handed to wasp_sssp_seeded
+  kGraphCompactions,   ///< VersionedGraph overlay compactions observed
 };
-inline constexpr std::size_t kNumCounters = 28;
+inline constexpr std::size_t kNumCounters = 32;
 
 enum class GaugeId : std::uint8_t {
   kMaxFrontier,  ///< largest synchronous-round frontier seen

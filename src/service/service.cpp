@@ -33,6 +33,13 @@ const char* to_string(Outcome o) {
   return "?";
 }
 
+void QueryRequest::validate() const {
+  if (budget.count() < 0)
+    throw InvalidOptionsError("QueryRequest: budget must be >= 0");
+  if (tenant.empty())
+    throw InvalidOptionsError("QueryRequest: tenant must be non-empty");
+}
+
 void ServiceConfig::validate() const {
   if (num_solvers < 1)
     throw InvalidOptionsError("ServiceConfig: num_solvers must be >= 1");
@@ -45,18 +52,24 @@ void ServiceConfig::validate() const {
   solver.validate();
 }
 
-/// One accepted query: identity, knobs, timing anchors, the token shared
-/// with the in-flight run, and the promise clients wait on.
+/// One accepted query: identity, request knobs, timing anchors, the token
+/// shared with the in-flight run, and the promise clients wait on.
 struct QueryService::Pending {
   const Graph* graph = nullptr;
-  VertexId source = 0;
-  QueryOptions opt;
+  /// Non-null for versioned submits; the worker stamps the run's version
+  /// from it at pickup (safe: reads race with nothing — update() drains
+  /// running queries and blocks pickups before mutating).
+  const VersionedGraph* versioned = nullptr;
+  QueryRequest req;
   Clock::time_point submitted;
   Clock::time_point deadline;  // Clock::time_point::max() when unbounded
   std::shared_ptr<CancelToken> token = std::make_shared<CancelToken>();
   std::promise<QueryResult> promise;
   std::shared_future<QueryResult> future;
   std::uint64_t id = 0;
+  /// Graph version the run answers, stamped at worker pickup (0 for plain
+  /// Graphs). Stable for the whole run: updates drain running queries.
+  std::uint64_t run_version = 0;
 };
 
 QueryService::QueryService(ServiceConfig config)
@@ -79,30 +92,49 @@ std::unique_ptr<Solver> QueryService::build_solver() const {
   return std::make_unique<Solver>(std::move(opt));
 }
 
-std::shared_future<QueryResult> QueryService::submit(const Graph& g,
-                                                     VertexId source,
-                                                     QueryOptions opt) {
+std::shared_future<QueryResult> QueryService::submit_impl(
+    const Graph& g, const VersionedGraph* vg, QueryRequest req) {
+  req.validate();
+  if (req.source >= g.num_vertices()) {
+    std::ostringstream os;
+    os << "QueryService::submit: source " << req.source
+       << " out of range for graph with " << g.num_vertices() << " vertices";
+    throw InvalidSourceError(os.str());
+  }
+
   MutexLock lock(mu_);
   if (stopping_)
     throw std::logic_error("QueryService::submit: service is shut down");
+  if (vg != nullptr && vg->version() < req.min_graph_version) {
+    std::ostringstream os;
+    os << "QueryService::submit: min_graph_version " << req.min_graph_version
+       << " not yet reached (graph is at version " << vg->version() << ")";
+    throw InvalidOptionsError(os.str());
+  }
   obs::MetricsShard& adm = registry_.shard(0);
 
   const auto now = Clock::now();
   std::chrono::nanoseconds budget =
-      opt.budget.count() > 0 ? opt.budget : config_.default_budget;
-  const Clock::time_point deadline =
+      req.budget.count() > 0 ? req.budget : config_.default_budget;
+  Clock::time_point deadline =
       budget.count() > 0 ? now + budget : Clock::time_point::max();
+  deadline = std::min(deadline, req.deadline);
 
   // Same-source coalescing: ride an already-queued entry and share its
-  // future. The entry inherits the laxer deadline and the higher priority,
-  // so no rider loses an answer it would have gotten alone.
+  // future. The entry inherits the laxer deadline, the higher priority and
+  // the rider's stale-answer permission, so no rider loses an answer it
+  // would have gotten alone. (min_graph_version needs no merge: versions
+  // only grow, so a check passed at submit holds for the shared answer.)
   if (config_.coalesce) {
     for (const Entry& e : queue_) {
-      if (e->graph == &g && e->source == source) {
+      if (e->graph == &g && e->req.source == req.source) {
         adm.inc(CId::kQueriesCoalesced);
-        tenants_[opt.tenant].coalesced += 1;
+        tenants_[req.tenant].coalesced += 1;
         e->deadline = std::max(e->deadline, deadline);
-        e->opt.priority = std::max(e->opt.priority, opt.priority);
+        e->req.priority = std::max(e->req.priority, req.priority);
+        e->req.allow_stale = e->req.allow_stale || req.allow_stale;
+        e->req.min_graph_version =
+            std::max(e->req.min_graph_version, req.min_graph_version);
         if (e->deadline == Clock::time_point::max()) {
           e->token->reset();  // safe: not running yet; drops the armed deadline
         } else {
@@ -121,20 +153,20 @@ std::shared_future<QueryResult> QueryService::submit(const Graph& g,
       // <= prefers the youngest among equally-low entries, so FIFO order
       // of the survivors is preserved.
       if (victim == queue_.end() ||
-          (*it)->opt.priority <= (*victim)->opt.priority) {
+          (*it)->req.priority <= (*victim)->req.priority) {
         victim = it;
       }
     }
-    if (victim != queue_.end() && (*victim)->opt.priority < opt.priority) {
+    if (victim != queue_.end() && (*victim)->req.priority < req.priority) {
       Entry shed = *victim;
       queue_.erase(victim);
       finish_unrun_locked(shed, Outcome::kShed);
     } else {
       adm.inc(CId::kQueriesRejected);
-      tenants_[opt.tenant].rejected += 1;
+      tenants_[req.tenant].rejected += 1;
       std::ostringstream os;
       os << "QueryService::submit: queue full (" << queue_.size() << "/"
-         << config_.queue_capacity << ") and priority " << opt.priority
+         << config_.queue_capacity << ") and priority " << req.priority
          << " outranks no queued query";
       throw ServiceOverloadedError(os.str());
     }
@@ -142,8 +174,8 @@ std::shared_future<QueryResult> QueryService::submit(const Graph& g,
 
   Entry e = std::make_shared<Pending>();
   e->graph = &g;
-  e->source = source;
-  e->opt = std::move(opt);
+  e->versioned = vg;
+  e->req = std::move(req);
   e->submitted = now;
   e->deadline = deadline;
   // Arm the token too: the run's own polling sites then enforce the budget
@@ -153,9 +185,42 @@ std::shared_future<QueryResult> QueryService::submit(const Graph& g,
   e->future = e->promise.get_future().share();
   queue_.push_back(e);
   adm.inc(CId::kQueriesSubmitted);
-  tenants_[e->opt.tenant].submitted += 1;
+  tenants_[e->req.tenant].submitted += 1;
   work_cv_.notify_one();
   return e->future;
+}
+
+std::shared_future<QueryResult> QueryService::submit(const Graph& g,
+                                                     const QueryRequest& req) {
+  return submit_impl(g, nullptr, req);
+}
+
+std::shared_future<QueryResult> QueryService::submit(VersionedGraph& vg,
+                                                     const QueryRequest& req) {
+  // flat() (not graph()) on purpose: submit never mutates the graph, and
+  // the service contract routes all mutation — including the compaction —
+  // through update(), which leaves vg flat.
+  return submit_impl(vg.flat(), &vg, req);
+}
+
+std::shared_future<QueryResult> QueryService::submit(const Graph& g,
+                                                     VertexId source,
+                                                     QueryOptions opt) {
+  QueryRequest req;
+  req.source = source;
+  req.priority = opt.priority;
+  req.budget = opt.budget;
+  req.tenant = std::move(opt.tenant);
+  req.allow_stale = opt.allow_stale;
+  return submit_impl(g, nullptr, std::move(req));
+}
+
+QueryResult QueryService::solve(const Graph& g, const QueryRequest& req) {
+  return submit(g, req).get();
+}
+
+QueryResult QueryService::solve(VersionedGraph& vg, const QueryRequest& req) {
+  return submit(vg, req).get();
 }
 
 QueryResult QueryService::solve(const Graph& g, VertexId source,
@@ -163,14 +228,124 @@ QueryResult QueryService::solve(const Graph& g, VertexId source,
   return submit(g, source, std::move(opt)).get();
 }
 
+std::uint64_t QueryService::update(VersionedGraph& vg,
+                                   const GraphDelta& batch) {
+  // Phase 1 (under mu_): take the exclusive gate, drain the running set,
+  // apply + compact. Workers cannot pick up while update_active_ is set, so
+  // nothing reads the CSR while apply() patches it or compact() replaces it.
+  std::vector<VertexId> repair_sources;
+  std::uint64_t version = 0;
+  {
+    MutexLock lock(mu_);
+    while (!stopping_ && update_active_) update_cv_.wait(lock);
+    if (stopping_)
+      throw std::logic_error("QueryService::update: service is shut down");
+    update_active_ = true;
+    while (!stopping_ && any_running_locked()) update_cv_.wait(lock);
+    if (stopping_) {
+      update_active_ = false;
+      throw std::logic_error("QueryService::update: service is shut down");
+    }
+
+    const std::uint64_t compactions_before = vg.compactions();
+    try {
+      version = vg.apply(batch);
+      // Fold any structural overlay while the gate is exclusive.
+      (void)vg.graph();
+    } catch (...) {
+      update_active_ = false;
+      update_cv_.notify_all();
+      work_cv_.notify_all();
+      throw;  // validate-before-mutate: the graph is unchanged
+    }
+    registry_.shard(0).inc(CId::kGraphCompactions,
+                           vg.compactions() - compactions_before);
+
+    const Graph* key = &vg.flat();
+    for (const auto& [k, cached] : stale_) {
+      (void)cached;
+      if (k.first == key) repair_sources.push_back(k.second);
+    }
+  }
+
+  // Phase 2 (gate held, mu_ released): repair the cached answers to the new
+  // version instead of dropping them. vg is quiescent now — workers are
+  // gated and concurrent updaters queue on the gate — so the repairer may
+  // read it freely while submits and stats proceed under mu_.
+  struct Repaired {
+    VertexId source;
+    std::shared_ptr<const std::vector<Distance>> dist;
+    RepairStats stats;
+  };
+  std::vector<Repaired> repaired;
+  repaired.reserve(repair_sources.size());
+  try {
+    for (const VertexId source : repair_sources) {
+      if (repairer_ == nullptr) {
+        SsspOptions opt = config_.solver;
+        opt.cancel = nullptr;
+        repairer_ = std::make_unique<IncrementalSolver>(std::move(opt));
+      }
+      const std::vector<Distance>& d = repairer_->solve(vg, source);
+      repaired.push_back(
+          {source, std::make_shared<const std::vector<Distance>>(d),
+           repairer_->last_repair()});
+    }
+  } catch (...) {
+    // A failed repair leaves the remaining entries at their old version
+    // stamp — still served only to queries whose min_graph_version allows.
+    MutexLock lock(mu_);
+    update_active_ = false;
+    update_cv_.notify_all();
+    work_cv_.notify_all();
+    throw;
+  }
+
+  // Phase 3 (under mu_): publish the repaired answers and release the gate.
+  {
+    MutexLock lock(mu_);
+    obs::MetricsShard& adm = registry_.shard(0);
+    const Graph* key = &vg.flat();
+    for (Repaired& r : repaired) {
+      auto it = stale_.find({key, r.source});
+      if (it != stale_.end())  // still cached (no eviction races the gate)
+        it->second = CachedAnswer{std::move(r.dist), version};
+      if (!r.stats.full_solve) {
+        adm.inc(CId::kRepairBatches, r.stats.batches);
+        adm.inc(CId::kRepairConeVertices, r.stats.cone_vertices);
+        adm.inc(CId::kRepairSeedVertices, r.stats.seed_vertices);
+      }
+    }
+    update_active_ = false;
+  }
+  update_cv_.notify_all();
+  work_cv_.notify_all();
+  return version;
+}
+
 QueryService::Entry QueryService::pop_next_locked() {
   auto best = queue_.begin();
   for (auto it = std::next(queue_.begin()); it != queue_.end(); ++it) {
-    if ((*it)->opt.priority > (*best)->opt.priority) best = it;
+    if ((*it)->req.priority > (*best)->req.priority) best = it;
   }
   Entry e = *best;
   queue_.erase(best);
   return e;
+}
+
+bool QueryService::any_running_locked() const {
+  for (const Entry& e : running_)
+    if (e != nullptr) return true;
+  return false;
+}
+
+const QueryService::CachedAnswer* QueryService::cache_find_locked(
+    const Pending& q) const {
+  auto hit = stale_.find({q.graph, q.req.source});
+  if (hit == stale_.end()) return nullptr;
+  // A cached answer older than the query's floor is not an answer at all.
+  if (hit->second.version < q.req.min_graph_version) return nullptr;
+  return &hit->second;
 }
 
 void QueryService::finish_unrun_locked(const Entry& e, Outcome outcome) {
@@ -178,15 +353,15 @@ void QueryService::finish_unrun_locked(const Entry& e, Outcome outcome) {
   r.query_id = e->id;
   r.queue_ms = ms_between(e->submitted, Clock::now());
   r.outcome = outcome;
-  if (e->opt.allow_stale) {
-    auto hit = stale_.find({e->graph, e->source});
-    if (hit != stale_.end()) {
+  if (e->req.allow_stale) {
+    if (const CachedAnswer* hit = cache_find_locked(*e)) {
       r.outcome = Outcome::kServedStale;
-      r.dist = *hit->second;
+      r.dist = *hit->dist;
+      r.graph_version = hit->version;
     }
   }
   if (outcome == Outcome::kShed) registry_.shard(0).inc(CId::kQueriesShed);
-  account_locked(e->opt.tenant, r.outcome);
+  account_locked(e->req.tenant, r.outcome);
   e->promise.set_value(std::move(r));
 }
 
@@ -221,7 +396,8 @@ void QueryService::account_locked(const std::string& tenant, Outcome outcome) {
 }
 
 void QueryService::cache_store_locked(const Graph* g, VertexId source,
-                                      const std::vector<Distance>& dist) {
+                                      const std::vector<Distance>& dist,
+                                      std::uint64_t version) {
   if (config_.stale_cache_entries == 0) return;
   const std::pair<const Graph*, VertexId> key{g, source};
   auto it = stale_.find(key);
@@ -230,7 +406,8 @@ void QueryService::cache_store_locked(const Graph* g, VertexId source,
     stale_order_.pop_front();
   }
   if (it == stale_.end()) stale_order_.push_back(key);
-  stale_[key] = std::make_shared<const std::vector<Distance>>(dist);
+  stale_[key] = CachedAnswer{
+      std::make_shared<const std::vector<Distance>>(dist), version};
 }
 
 QueryResult QueryService::execute(Pending& q, int wid,
@@ -254,11 +431,12 @@ QueryResult QueryService::execute(Pending& q, int wid,
       }
       if (config_.inject_failure) config_.inject_failure(attempt);
       solver->options().cancel = &token;
-      SsspResult s = solver->solve(*q.graph, q.source);
+      SsspResult s = solver->solve(*q.graph, q.req.source);
       solver->options().cancel = nullptr;
       r.outcome = Outcome::kServed;
       r.dist = std::move(s.dist);
       r.stats = s.stats;
+      r.graph_version = q.run_version;
       break;
     } catch (const SolveCancelledError& ex) {
       if (solver != nullptr) solver->options().cancel = nullptr;
@@ -268,12 +446,12 @@ QueryResult QueryService::execute(Pending& q, int wid,
       // A cancelled run unwound cooperatively, but its team just absorbed
       // an abnormal exit — quarantine and rebuild off this query's path.
       if (r.outcome == Outcome::kDeadlineExpired) quarantine = true;
-      if (r.outcome == Outcome::kDeadlineExpired && q.opt.allow_stale) {
+      if (r.outcome == Outcome::kDeadlineExpired && q.req.allow_stale) {
         MutexLock lock(mu_);
-        auto hit = stale_.find({q.graph, q.source});
-        if (hit != stale_.end()) {
+        if (const CachedAnswer* hit = cache_find_locked(q)) {
           r.outcome = Outcome::kServedStale;
-          r.dist = *hit->second;
+          r.dist = *hit->dist;
+          r.graph_version = hit->version;
         }
       }
       break;
@@ -319,11 +497,15 @@ void QueryService::worker_main(int wid) {
       MutexLock lock(mu_);
       // Explicit predicate loop (not the lambda overload): TSA analyzes a
       // lambda body with no knowledge of the held capability, so the
-      // guarded reads live here, where mu_ is provably held.
-      while (!stopping_ && queue_.empty()) work_cv_.wait(lock);
+      // guarded reads live here, where mu_ is provably held. Pickups also
+      // pause while an update() owns the exclusive gate — a run must never
+      // observe a half-applied batch.
+      while (!stopping_ && (queue_.empty() || update_active_))
+        work_cv_.wait(lock);
       if (queue_.empty()) return;  // stopping_ and drained
       e = pop_next_locked();
       running_[static_cast<std::size_t>(wid)] = e;
+      if (e->versioned != nullptr) e->run_version = e->versioned->version();
     }
 
     QueryResult r;
@@ -344,8 +526,10 @@ void QueryService::worker_main(int wid) {
       MutexLock lock(mu_);
       running_[static_cast<std::size_t>(wid)] = nullptr;
       if (r.outcome == Outcome::kServed)
-        cache_store_locked(e->graph, e->source, r.dist);
-      account_locked(e->opt.tenant, r.outcome);
+        cache_store_locked(e->graph, e->req.source, r.dist, e->run_version);
+      account_locked(e->req.tenant, r.outcome);
+      // An update() may be waiting for the running set to drain.
+      if (update_active_ && !any_running_locked()) update_cv_.notify_all();
     }
     e->promise.set_value(std::move(r));
 
@@ -405,6 +589,7 @@ void QueryService::shutdown() {
   }
   work_cv_.notify_all();
   watchdog_cv_.notify_all();
+  update_cv_.notify_all();  // a blocked update() wakes and throws
   if (watchdog_.joinable()) watchdog_.join();
   for (std::thread& w : workers_)
     if (w.joinable()) w.join();

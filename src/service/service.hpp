@@ -25,6 +25,12 @@
 //    threw a transient error is quarantined and rebuilt off the hot path;
 //    transient failures retry with seeded, jittered exponential backoff,
 //    capped per query.
+//  * Live graph updates — update() applies a GraphDelta batch to a
+//    VersionedGraph through an exclusive gate (new pickups pause, running
+//    queries drain first, so no run ever observes a half-applied batch),
+//    then repairs the cached stale answers to the new version instead of
+//    dropping them (sssp/incremental.hpp). QueryRequest::min_graph_version
+//    lets a client demand at-least-this-fresh answers.
 //
 // Accounting flows through an obs::MetricsRegistry (the kQueries* /
 // kSolverRebuilds / kWatchdogCancels counters) plus a per-tenant table;
@@ -45,15 +51,20 @@
 #include <thread>
 #include <vector>
 
+#include "graph/delta.hpp"
 #include "graph/graph.hpp"
 #include "obs/metrics.hpp"
 #include "sssp/common.hpp"
+#include "sssp/incremental.hpp"
 #include "sssp/solver.hpp"
 #include "support/cancel.hpp"
 #include "support/random.hpp"
 #include "support/thread_safety.hpp"
 
 namespace wasp::service {
+
+/// The service's wall clock (the one CancelToken deadlines are armed on).
+using Clock = CancelToken::Clock;
 
 /// How a query left the service. kServed / kServedStale carry distances;
 /// the rest are terminal without a (fresh) answer.
@@ -69,7 +80,39 @@ enum class Outcome : std::uint8_t {
 /// Name of `o` ("served", "served_stale", "cancelled", ...).
 const char* to_string(Outcome o);
 
-/// Per-query knobs for submit().
+/// One query, fully described. Designated-initializer friendly:
+///
+///   svc.submit(g, {.source = s, .priority = 2,
+///                  .budget = std::chrono::milliseconds(5)});
+///
+/// validate() runs upfront in submit() (like SsspOptions::validate()), so a
+/// malformed request throws there instead of resolving its future kFailed.
+struct QueryRequest {
+  VertexId source = 0;  ///< must be < g.num_vertices() (checked in submit)
+  int priority = 0;     ///< higher wins queue order; lowest sheds first
+  /// Absolute wall-clock deadline; Clock::time_point::max() = unbounded.
+  /// The effective deadline is the tighter of this and submit-time + budget.
+  Clock::time_point deadline = Clock::time_point::max();
+  /// Wall-clock budget from submit() (queueing included); <= 0 uses the
+  /// service default_budget (which may itself be "none").
+  std::chrono::nanoseconds budget{0};
+  std::string tenant = "default";  ///< accounting + shedding identity
+  /// Smallest graph version this query may be answered against. Only
+  /// meaningful for the VersionedGraph overloads (plain Graphs are version
+  /// 0): submit() throws InvalidOptionsError when the graph is older, and a
+  /// stale-cache hit is only served if it was computed at >= this version.
+  std::uint64_t min_graph_version = 0;
+  /// Permit a cached same-source answer when shed or expired in queue.
+  bool allow_stale = false;
+
+  /// Rejects a negative budget or an empty tenant with InvalidOptionsError.
+  /// (source range and min_graph_version need the graph; submit checks
+  /// them.)
+  void validate() const;
+};
+
+/// Deprecated per-query knobs for the positional submit() shim below; new
+/// code should pass a QueryRequest.
 struct QueryOptions {
   std::string tenant = "default";  ///< accounting + shedding identity
   int priority = 0;                ///< higher wins queue order; lowest sheds
@@ -94,6 +137,9 @@ struct QueryResult {
   /// can pin the seeded jitter sequence byte-for-byte.
   std::vector<std::uint64_t> backoff_ns;
   std::uint64_t query_id = 0;
+  /// Graph version the answer reflects (0 for plain-Graph submits; for
+  /// kServedStale, the version the cached answer was computed at).
+  std::uint64_t graph_version = 0;
 
   [[nodiscard]] bool ok() const {
     return outcome == Outcome::kServed || outcome == Outcome::kServedStale;
@@ -170,14 +216,44 @@ class QueryService {
   QueryService& operator=(const QueryService&) = delete;
 
   /// Enqueues a query. Returns a future that always resolves to a
-  /// QueryResult (see Outcome). Throws ServiceOverloadedError when the
-  /// queue is at capacity and the query outranks nothing, and
-  /// std::logic_error after shutdown(). `g` must outlive the query.
+  /// QueryResult (see Outcome). Validates `req` upfront: throws
+  /// InvalidOptionsError on a malformed request, InvalidSourceError when
+  /// req.source is out of range, ServiceOverloadedError when the queue is
+  /// at capacity and the query outranks nothing, and std::logic_error after
+  /// shutdown(). `g` must outlive the query.
+  std::shared_future<QueryResult> submit(const Graph& g,
+                                         const QueryRequest& req);
+
+  /// Versioned front door: like above, but additionally throws
+  /// InvalidOptionsError when vg.version() < req.min_graph_version.
+  /// `vg` must only be mutated through update() once queries are in flight
+  /// (update() holds the exclusive gate the workers respect); in exchange
+  /// the answer is guaranteed to reflect vg's version at pickup time
+  /// (QueryResult::graph_version).
+  std::shared_future<QueryResult> submit(VersionedGraph& vg,
+                                         const QueryRequest& req);
+
+  /// Deprecated positional shim; forwards to the QueryRequest overload.
   std::shared_future<QueryResult> submit(const Graph& g, VertexId source,
                                          QueryOptions opt = {});
 
   /// Convenience: submit() and wait.
+  QueryResult solve(const Graph& g, const QueryRequest& req);
+  QueryResult solve(VersionedGraph& vg, const QueryRequest& req);
+  /// Deprecated positional shim; forwards to the QueryRequest overload.
   QueryResult solve(const Graph& g, VertexId source, QueryOptions opt = {});
+
+  /// Applies `batch` to `vg` through the exclusive update gate: new pickups
+  /// pause, running queries drain, the batch is applied and any structural
+  /// overlay compacted, and then — instead of dropping them — every cached
+  /// stale answer for this graph is repaired to the new version through a
+  /// service-owned IncrementalSolver (off the query hot path; the common
+  /// hot (graph, source) pair repairs incrementally, the rest re-solve).
+  /// Queued queries survive an update untouched; they run against the new
+  /// version. Returns the new vg.version(). Throws whatever
+  /// VersionedGraph::apply throws (the graph is unchanged then) and
+  /// std::logic_error after shutdown().
+  std::uint64_t update(VersionedGraph& vg, const GraphDelta& batch);
 
   /// Cancels queued + running queries, waits for the fleet to drain, and
   /// rejects further submits. Idempotent.
@@ -192,13 +268,22 @@ class QueryService {
  private:
   struct Pending;
   using Entry = std::shared_ptr<Pending>;
-  using Clock = CancelToken::Clock;
+
+  /// One stale-cache value: the distances plus the graph version they were
+  /// computed at (0 for plain Graphs), so min_graph_version can filter.
+  struct CachedAnswer {
+    std::shared_ptr<const std::vector<Distance>> dist;
+    std::uint64_t version = 0;
+  };
 
   void worker_main(int wid);
   void watchdog_main();
   [[nodiscard]] std::unique_ptr<Solver> build_solver() const;
   QueryResult execute(Pending& q, int wid, std::unique_ptr<Solver>& solver,
                       Xoshiro256& rng, bool& quarantine);
+  std::shared_future<QueryResult> submit_impl(const Graph& g,
+                                              const VersionedGraph* vg,
+                                              QueryRequest req);
   /// Picks the best queued entry (highest priority, FIFO within). mu_ held
   /// (TSA-enforced via REQUIRES, like all *_locked helpers below).
   Entry pop_next_locked() WASP_REQUIRES(mu_);
@@ -210,8 +295,12 @@ class QueryService {
   void account_locked(const std::string& tenant, Outcome outcome)
       WASP_REQUIRES(mu_);
   void cache_store_locked(const Graph* g, VertexId source,
-                          const std::vector<Distance>& dist)
+                          const std::vector<Distance>& dist,
+                          std::uint64_t version) WASP_REQUIRES(mu_);
+  /// A stale-cache hit for `q` satisfying its min_graph_version, or nullptr.
+  [[nodiscard]] const CachedAnswer* cache_find_locked(const Pending& q) const
       WASP_REQUIRES(mu_);
+  [[nodiscard]] bool any_running_locked() const WASP_REQUIRES(mu_);
 
   ServiceConfig config_;
   mutable Mutex mu_;  ///< TSA capability guarding all fields marked below
@@ -220,10 +309,14 @@ class QueryService {
   /// which TSA cannot see through.
   std::condition_variable_any work_cv_;      ///< workers: queue or stop
   std::condition_variable_any watchdog_cv_;  ///< watchdog tick / stop
+  std::condition_variable_any update_cv_;    ///< updaters: drain / gate free
   std::deque<Entry> queue_ WASP_GUARDED_BY(mu_);
   /// Slot per worker, null when idle.
   std::vector<Entry> running_ WASP_GUARDED_BY(mu_);
   bool stopping_ WASP_GUARDED_BY(mu_) = false;
+  /// Exclusive update gate: while set, workers pause pickups and exactly
+  /// one update() owns graph mutation + cache repair.
+  bool update_active_ WASP_GUARDED_BY(mu_) = false;
   std::uint64_t next_id_ WASP_GUARDED_BY(mu_) = 1;
 
   /// Shard 0: admission/watchdog paths (all writes under mu_). Shards
@@ -232,11 +325,15 @@ class QueryService {
   std::map<std::string, TenantStats> tenants_ WASP_GUARDED_BY(mu_);
 
   /// Same-source stale cache, FIFO-evicted.
-  std::map<std::pair<const Graph*, VertexId>,
-           std::shared_ptr<const std::vector<Distance>>>
-      stale_ WASP_GUARDED_BY(mu_);
+  std::map<std::pair<const Graph*, VertexId>, CachedAnswer> stale_
+      WASP_GUARDED_BY(mu_);
   std::deque<std::pair<const Graph*, VertexId>> stale_order_
       WASP_GUARDED_BY(mu_);
+
+  /// Service-owned repair solver for update()'s cache refresh, built
+  /// lazily. Not mu_-guarded: touched only by the update() holder of the
+  /// update_active_ gate, which is itself exclusive.
+  std::unique_ptr<IncrementalSolver> repairer_;
 
   std::vector<std::thread> workers_;
   std::thread watchdog_;

@@ -118,6 +118,25 @@ class WaspWorker {
     publish_curr(0);
   }
 
+  /// Seeds this worker's round-robin share of a warm multi-source frontier
+  /// (wasp_sssp_seeded): seeds[i] with i % team_size == tid, pushed at the
+  /// coarsened level of its pre-loaded distance. Called before run(), like
+  /// seed(); the dispatcher pre-published the same minimum level on the
+  /// board, so the termination scan cannot fire before these land.
+  void seed_warm(std::span<const VertexId> seeds) {
+    const int p = s_.tiers.num_threads();
+    std::uint64_t min_level = kInfPriority;
+    for (std::size_t i = static_cast<std::size_t>(tid_); i < seeds.size();
+         i += static_cast<std::size_t>(p)) {
+      const Distance d = s_.dist.load(seeds[i]);
+      if (d == kInfDist) continue;  // nothing can relax from an inf bound
+      const auto level = static_cast<std::uint64_t>(d) / s_.delta;
+      push_to_buckets(seeds[i], level);
+      min_level = std::min(min_level, level);
+    }
+    if (min_level != kInfPriority) publish_curr(min_level);
+  }
+
   /// The main work loop (Algorithm 1, work_stealing_shortest_path).
   void run() {
     for (;;) {
@@ -645,6 +664,71 @@ SsspResult wasp_sssp_impl(const Graph& g, VertexId source, Weight delta,
   return result;
 }
 
+template <typename ChunkT>
+SsspResult wasp_sssp_seeded_impl(const Graph& g,
+                                 std::span<const VertexId> seeds, Weight delta,
+                                 const WaspConfig& config, RunContext& ctx) {
+  const int p = ctx.team.size();
+
+  std::vector<std::uint8_t> leaf_bitmap;
+  if (config.leaf_pruning) leaf_bitmap = compute_leaf_bitmap(g);
+
+  std::shared_ptr<const NumaTopology> topo = config.topology;
+  if (!topo) topo = std::make_shared<NumaTopology>(NumaTopology::detect());
+  std::vector<int> cpu_of(static_cast<std::size_t>(p));
+  for (int t = 0; t < p; ++t)
+    cpu_of[static_cast<std::size_t>(t)] = ctx.team.cpu_of(t) % topo->num_cpus();
+
+  // Warm start: the caller pre-loaded ctx.dist; distances() with a matching
+  // size hands the same array back untouched (no epoch bump, no seeding).
+  AtomicDistances& dist = ctx.distances(g.num_vertices());
+
+  // Per-worker minimum seed level, computed up front so every seeded worker
+  // can be pre-published busy before the team launches — the multi-source
+  // analogue of the classic path's `curr.publish(0, 0)`: no worker may pass
+  // the termination scan before the seeds land.
+  std::vector<std::uint64_t> min_level(static_cast<std::size_t>(p),
+                                       kInfPriority);
+  bool any_seed = false;
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    const Distance d = dist.load(seeds[i]);
+    if (d == kInfDist) continue;
+    auto& slot = min_level[i % static_cast<std::size_t>(p)];
+    slot = std::min(slot, static_cast<std::uint64_t>(d) / delta);
+    any_seed = true;
+  }
+  if (!any_seed) {
+    // Nothing to repair: report the warm bounds as-is, zero parallel work.
+    SsspResult result;
+    finalize_result(ctx, 0.0, result);
+    result.dist = dist.snapshot();
+    return result;
+  }
+
+  WaspShared<ChunkT> shared(g, dist, delta, config, ctx,
+                            config.leaf_pruning ? &leaf_bitmap : nullptr, p,
+                            *topo, cpu_of);
+  for (int t = 0; t < p; ++t) {
+    if (min_level[static_cast<std::size_t>(t)] != kInfPriority)
+      shared.curr.publish(t, min_level[static_cast<std::size_t>(t)]);
+  }
+
+  chaos::Engine* chaos = config.chaos != nullptr ? config.chaos : ctx.chaos;
+  Timer timer;
+  ctx.team.run([&](int tid) {
+    verify::ScopedSchedule schedule_guard(tid);
+    chaos::ScopedInstall chaos_guard(chaos, tid);
+    WaspWorker<ChunkT> worker(shared, tid);
+    worker.seed_warm(seeds);
+    worker.run();
+  });
+
+  SsspResult result;
+  finalize_result(ctx, timer.seconds(), result);
+  result.dist = dist.snapshot();
+  return result;
+}
+
 SsspResult wasp_sssp(const Graph& g, VertexId source, Weight delta,
                      const WaspConfig& config, RunContext& ctx) {
   // The chunk capacity is a compile-time property (paper §4.3: "chosen at
@@ -663,6 +747,36 @@ SsspResult wasp_sssp(const Graph& g, VertexId source, Weight delta,
     default:
       throw InvalidOptionsError(
           "wasp_sssp: chunk_capacity must be one of 16, 32, 64, 128, 256");
+  }
+}
+
+SsspResult wasp_sssp_seeded(const Graph& g, std::span<const VertexId> seeds,
+                            Weight delta, const WaspConfig& config,
+                            RunContext& ctx) {
+  if (ctx.dist == nullptr || ctx.dist->size() != g.num_vertices())
+    throw InvalidOptionsError(
+        "wasp_sssp_seeded: ctx.dist must be pre-loaded with warm bounds "
+        "sized to the graph");
+  switch (config.chunk_capacity) {
+    case 16:
+      return wasp_sssp_seeded_impl<BasicChunk<16>>(g, seeds, delta, config,
+                                                   ctx);
+    case 32:
+      return wasp_sssp_seeded_impl<BasicChunk<32>>(g, seeds, delta, config,
+                                                   ctx);
+    case 64:
+      return wasp_sssp_seeded_impl<BasicChunk<64>>(g, seeds, delta, config,
+                                                   ctx);
+    case 128:
+      return wasp_sssp_seeded_impl<BasicChunk<128>>(g, seeds, delta, config,
+                                                    ctx);
+    case 256:
+      return wasp_sssp_seeded_impl<BasicChunk<256>>(g, seeds, delta, config,
+                                                    ctx);
+    default:
+      throw InvalidOptionsError(
+          "wasp_sssp_seeded: chunk_capacity must be one of 16, 32, 64, 128, "
+          "256");
   }
 }
 

@@ -28,6 +28,8 @@
 // a freshly stolen chunk, so "all threads INF" really means no work exists.
 #pragma once
 
+#include <span>
+
 #include "graph/graph.hpp"
 #include "sssp/common.hpp"
 #include "support/thread_team.hpp"
@@ -40,5 +42,24 @@ namespace wasp {
 /// chunk_capacity in {16,32,64,128,256}).
 SsspResult wasp_sssp(const Graph& g, VertexId source, Weight delta,
                      const WaspConfig& config, RunContext& ctx);
+
+/// Warm-start multi-source variant backing incremental repair
+/// (sssp/incremental.hpp): instead of seeding one source at distance 0 into
+/// an all-infinity array, the caller pre-loads ctx.dist with valid *upper
+/// bounds* (kInfDist for invalidated vertices) and names the frontier —
+/// every vertex whose current bound may improve a neighbour. The engine
+/// relaxes monotonically from the seeds exactly like a cold run relaxes
+/// from the source, so it converges to the same fixed point: exact
+/// distances, in work proportional to the region the seeds reach with
+/// improvements, not the graph.
+///
+/// Contract: ctx.dist must be non-null, sized to g.num_vertices(), and hold
+/// admissible bounds (never below the true distance). Seeds with an
+/// infinite bound are skipped (nothing can relax from them — and their
+/// bucket level would be meaningless). An empty (or all-infinite) seed set
+/// returns the current bounds unchanged. Same knob contract as wasp_sssp.
+SsspResult wasp_sssp_seeded(const Graph& g, std::span<const VertexId> seeds,
+                            Weight delta, const WaspConfig& config,
+                            RunContext& ctx);
 
 }  // namespace wasp

@@ -433,15 +433,14 @@ TEST(ServiceQuery, RetryExhaustionAndPermanentErrorsFailTyped) {
   EXPECT_EQ(r.attempts, 2);  // first + one retry, then exhausted
   EXPECT_FALSE(r.error.empty());
 
-  // Permanent input error: no retry at all.
+  // Permanent input errors are caught upfront: an out-of-range source
+  // throws at submit() instead of burning a worker on a doomed query.
   ServiceConfig plain;
   plain.solver = options_for(Algorithm::kWasp);
   plain.num_solvers = 1;
   QueryService svc2(plain);
-  const QueryResult bad = svc2.solve(g, g.num_vertices() + 7);
-  EXPECT_EQ(bad.outcome, Outcome::kFailed);
-  EXPECT_EQ(bad.attempts, 1);
-  EXPECT_FALSE(bad.error.empty());
+  EXPECT_THROW((void)svc2.solve(g, g.num_vertices() + 7),
+               InvalidSourceError);
 }
 
 TEST(ServiceQuery, ShutdownResolvesQueuedAsCancelledAndRejectsSubmits) {

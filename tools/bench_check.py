@@ -1,6 +1,7 @@
 #!/usr/bin/env python3
-"""Validates a machine-readable bench report (BENCH_tput.json or
-BENCH_qps.json), dispatching on the report's "bench" field.
+"""Validates a machine-readable bench report (BENCH_tput.json,
+BENCH_qps.json, or BENCH_dyn.json), dispatching on the report's "bench"
+field.
 
 tput_queries checks (stdlib only, exit 1 on the first violation):
   * the top-level schema: schema_version == 1, bench == "tput_queries",
@@ -25,10 +26,20 @@ qps_service checks:
     (expired + served == queries) with non-negative, ordered overshoot
     percentiles.
 
+dyn_updates checks:
+  * the top-level schema: bench == "dyn_updates", threads/batches/
+    ops_per_batch positive, a non-empty results list;
+  * per row: positive repair/full latencies, incremental_repairs +
+    full_solves == batches, at least one incremental repair, and the
+    correctness anchor exact == true (repaired distances bit-identical to
+    a from-scratch solve after every batch — checked at any scale);
+  * without --schema-only, the repair speedup must reach --min-gain.
+
 With --schema-only, the timing-relation checks (steady <= first * tolerance
-and --min-gain) are skipped for tput reports: schema, key-set, positivity,
-and the qps accounting invariants still run. This is the mode ctest uses on
-tiny smoke runs, where latencies are noise but bookkeeping must be exact.
+and --min-gain) are skipped for tput and dyn reports: schema, key-set,
+positivity, the qps accounting invariants, and the dyn exactness anchor
+still run. This is the mode ctest uses on tiny smoke runs, where latencies
+are noise but bookkeeping must be exact.
 
 Usage:
   python3 tools/bench_check.py BENCH_tput.json
@@ -66,6 +77,16 @@ QPS_OUTCOMES = (
     "served", "served_stale", "cancelled", "deadline_expired", "shed",
     "failed",
 )
+
+DYN_TOP_KEYS = {
+    "schema_version", "bench", "threads", "batches", "ops_per_batch",
+    "scale", "results",
+}
+DYN_ROW_KEYS = {
+    "graph", "algo", "batches", "ops_per_batch", "repair_ms", "full_ms",
+    "speedup", "mean_cone", "mean_seeds", "incremental_repairs",
+    "full_solves", "exact",
+}
 
 
 def fail(msg):
@@ -186,6 +207,56 @@ def check_qps_report(report):
           f"(watchdog {cancel['watchdog_interval_ms']:.1f}ms)")
 
 
+def check_dyn_report(report, min_gain, graph_filter, schema_only):
+    missing = DYN_TOP_KEYS - report.keys()
+    if missing:
+        fail(f"missing top-level keys: {sorted(missing)}")
+    if report["threads"] < 1 or report["batches"] < 1:
+        fail("threads and batches must be >= 1")
+    if report["ops_per_batch"] < 1:
+        fail("ops_per_batch must be >= 1")
+    rows = report["results"]
+    if not rows:
+        fail("empty results list")
+
+    checked = 0
+    for row in rows:
+        missing = DYN_ROW_KEYS - row.keys()
+        if missing:
+            fail(f"row {row.get('graph', '?')}: missing keys {sorted(missing)}")
+        name = f"{row['graph']}/{row['algo']}"
+        if graph_filter and row["graph"] not in graph_filter:
+            continue
+        checked += 1
+        if row["repair_ms"] <= 0 or row["full_ms"] <= 0:
+            fail(f"{name}: repair/full latencies must be positive")
+        if row["incremental_repairs"] + row["full_solves"] != row["batches"]:
+            fail(f"{name}: incremental_repairs {row['incremental_repairs']} "
+                 f"+ full_solves {row['full_solves']} != batches "
+                 f"{row['batches']} — a batch went unaccounted")
+        # The correctness anchor holds at any scale: a mismatch between the
+        # repaired distances and a from-scratch solve is a bug, not noise.
+        if row["exact"] is not True:
+            fail(f"{name}: repaired distances diverged from from-scratch")
+        if row["incremental_repairs"] < 1:
+            fail(f"{name}: every batch fell back to a full solve — the "
+                 "warm-repair path never ran")
+        if schema_only:
+            print(f"bench_check: ok {name} (schema only): "
+                  f"repair {row['repair_ms']:.3f}ms, "
+                  f"full {row['full_ms']:.3f}ms, "
+                  f"{row['incremental_repairs']}/{row['batches']} repaired")
+            continue
+        if row["speedup"] < min_gain:
+            fail(f"{name}: repair speedup {row['speedup']:.2f}x below "
+                 f"required {min_gain:.2f}x")
+        print(f"bench_check: ok {name}: repair {row['repair_ms']:.3f}ms vs "
+              f"full {row['full_ms']:.3f}ms ({row['speedup']:.2f}x), "
+              f"mean cone {row['mean_cone']:.0f}")
+    if checked == 0:
+        fail(f"no rows matched graph filter {sorted(graph_filter)}")
+
+
 def check_report(report, min_gain, graph_filter, tolerance, schema_only):
     if report.get("schema_version") != 1:
         fail(f"unsupported schema_version {report.get('schema_version')}")
@@ -197,6 +268,8 @@ def check_report(report, min_gain, graph_filter, tolerance, schema_only):
         # The qps accounting invariants are exact at any scale, so
         # --schema-only changes nothing here.
         check_qps_report(report)
+    elif bench == "dyn_updates":
+        check_dyn_report(report, min_gain, graph_filter, schema_only)
     else:
         fail(f"unexpected bench name {bench!r}")
 

@@ -23,9 +23,11 @@ Subcommands
                                 synchronization concept — the protocol is
                                 documented where it is implemented.
               cancel-poll       every parallel worker loop in src/sssp/ (a
-                                .cpp that calls team.run) must poll the
-                                CancelToken (stop_requested / poll_cancel);
-                                an unpollable algorithm wedges the service
+                                .cpp that calls team.run or drives the engine
+                                via wasp_sssp_seeded, like the incremental
+                                repair loop) must poll the CancelToken
+                                (stop_requested / poll_cancel / poll); an
+                                unpollable algorithm wedges the service
                                 layer's deadline machinery.
   selftest  Run the checks against tools/lint/testdata/ fixtures and require
             each bad fixture to be flagged and each good one to pass — the
@@ -112,6 +114,10 @@ ABBREV = {
     "cancel.hpp": "CXL",
     "service.hpp": "SVH",
     "service.cpp": "SVC",
+    "delta.hpp": "DLTH",
+    "delta.cpp": "DLT",
+    "incremental.hpp": "INCH",
+    "incremental.cpp": "INC",
 }
 
 WAIVER_FILE = REPO / "tools" / "lint" / "mutant_waivers.txt"
@@ -297,9 +303,10 @@ def has_order_comment(lines, lineno):
 
 
 def is_sssp_worker(rel, text):
-    """A parallel-algorithm translation unit: launches a worker team."""
+    """A parallel-algorithm translation unit: launches a worker team, or
+    drives the engine over warm state (the incremental repair loop)."""
     return rel.startswith("src/sssp/") and rel.endswith(".cpp") \
-        and "team.run(" in text
+        and ("team.run(" in text or "wasp_sssp_seeded(" in text)
 
 
 def lint_file(rel, path=None, force_worker=None):
@@ -369,7 +376,8 @@ def lint_file(rel, path=None, force_worker=None):
 
     worker = force_worker if force_worker is not None \
         else is_sssp_worker(rel, text)
-    if worker and "stop_requested(" not in text and "poll_cancel(" not in text:
+    if worker and "stop_requested(" not in text \
+            and "poll_cancel(" not in text and "->poll()" not in text:
         findings.append((1, "cancel-poll",
                          "parallel worker loop never polls the CancelToken "
                          "(stop_requested()/poll_cancel()); deadlines and "
