@@ -1,6 +1,7 @@
 #include "graph/delta.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
 #include <sstream>
 #include <utility>
@@ -25,6 +26,15 @@ ArcPair expand(const EdgeUpdate& op, bool undirected) {
 }
 
 }  // namespace
+
+std::uint64_t VersionedGraph::Uid::next() {
+  // lint:allow(raw-atomic): pure id generator outside the verify-modelled
+  // engine; no data is published through it.
+  static std::atomic<std::uint64_t> counter{0};
+  // relaxed: uniqueness only — each caller needs a distinct value, nothing
+  // else is ordered against the increment.
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 VersionedGraph::VersionedGraph(Graph base)
     : flat_(std::move(base)),
@@ -158,10 +168,25 @@ std::uint64_t VersionedGraph::apply(const GraphDelta& delta) {
   validate_batch(delta);
 
   std::size_t touched = 0;
-  for (const EdgeUpdate& op : delta.ops()) {
-    const ArcPair arcs = expand(op, is_undirected());
-    touched += apply_arc(op.op, arcs.a_src, arcs.a_dst, op.w);
-    if (arcs.mirrored) touched += apply_arc(op.op, arcs.b_src, arcs.b_dst, op.w);
+  try {
+    for (const EdgeUpdate& op : delta.ops()) {
+      const ArcPair arcs = expand(op, is_undirected());
+      touched += apply_arc(op.op, arcs.a_src, arcs.a_dst, op.w);
+      if (arcs.mirrored)
+        touched += apply_arc(op.op, arcs.b_src, arcs.b_dst, op.w);
+    }
+  } catch (...) {
+    // Validation already passed, so only a resource failure (bad_alloc from
+    // overlay or journal growth) lands here — with the batch half-applied.
+    // Bump the version and raise the journal floor past every older
+    // binding: a warm consumer must never mistake the mutated arcs for its
+    // bound version, and with the journal gone it is forced to a full
+    // solve against the graph as it now is.
+    ++version_;
+    journal_floor_ = version_;
+    effects_.clear();
+    batch_ends_.clear();
+    throw;
   }
   effects_applied_ += touched;
   ++version_;

@@ -127,10 +127,22 @@ class VersionedGraph {
   /// Current version; bumped by exactly 1 per applied batch.
   [[nodiscard]] std::uint64_t version() const { return version_; }
 
+  /// Process-unique identity of this graph object: assigned at
+  /// construction from a monotonic counter, transferred by move (the
+  /// moved-from husk gets a fresh one), never reused. Warm consumers
+  /// (sssp/incremental.hpp) bind this — not the address — so a different
+  /// VersionedGraph reconstructed at a recycled heap address can never
+  /// pass for the one they answered.
+  [[nodiscard]] std::uint64_t uid() const { return uid_.value; }
+
   /// Applies `delta` as one batch: weight changes in place, structural
   /// changes to the overlay. Bumps and returns the new version. Throws
-  /// InvalidGraphError (edge missing / self-loop / id out of range) with the
-  /// graph unchanged — validation runs before the first mutation.
+  /// InvalidGraphError (edge missing / self-loop / id out of range) with
+  /// the graph unchanged — validation runs before the first mutation. A
+  /// resource failure mid-batch (bad_alloc) can leave the batch partially
+  /// applied; the graph then still bumps version() and invalidates the
+  /// whole journal, so warm consumers never replay against the torn state
+  /// and instead full-solve the graph as it now is.
   std::uint64_t apply(const GraphDelta& delta);
 
   /// The flat CSR view every solver consumes; compacts first when dirty.
@@ -209,6 +221,20 @@ class VersionedGraph {
  private:
   static constexpr std::uint32_t kNoOverlay = 0xFFFFFFFFu;
 
+  /// Move-aware wrapper for uid(): the defaulted VersionedGraph moves
+  /// transfer the identity with the content, and the moved-from object is
+  /// re-stamped so no two graphs ever share a uid.
+  struct Uid {
+    Uid() : value(next()) {}
+    Uid(Uid&& other) noexcept : value(std::exchange(other.value, next())) {}
+    Uid& operator=(Uid&& other) noexcept {
+      value = std::exchange(other.value, next());
+      return *this;
+    }
+    static std::uint64_t next();
+    std::uint64_t value;
+  };
+
   /// Copies u's adjacency into the overlay (first structural touch) and
   /// returns the mutable list.
   std::vector<WEdge>& overlay_for(VertexId u);
@@ -236,6 +262,7 @@ class VersionedGraph {
 
   std::uint64_t compactions_ = 0;
   std::uint64_t effects_applied_ = 0;
+  Uid uid_;
 };
 
 }  // namespace wasp

@@ -93,18 +93,24 @@ std::unique_ptr<Solver> QueryService::build_solver() const {
 }
 
 std::shared_future<QueryResult> QueryService::submit_impl(
-    const Graph& g, const VersionedGraph* vg, QueryRequest req) {
+    const Graph* graph, const VersionedGraph* vg, QueryRequest req) {
   req.validate();
+
+  MutexLock lock(mu_);
+  if (stopping_)
+    throw std::logic_error("QueryService::submit: service is shut down");
+  // Resolve the graph under mu_ and never earlier: update() phase 1 mutates
+  // the VersionedGraph (apply + compact) with mu_ held, so an unlocked
+  // flat()/num_vertices() read would race it. flat() (not graph()) on
+  // purpose: submit never mutates, and the service contract routes all
+  // mutation through update(), which always leaves vg compacted.
+  const Graph& g = vg != nullptr ? vg->flat() : *graph;
   if (req.source >= g.num_vertices()) {
     std::ostringstream os;
     os << "QueryService::submit: source " << req.source
        << " out of range for graph with " << g.num_vertices() << " vertices";
     throw InvalidSourceError(os.str());
   }
-
-  MutexLock lock(mu_);
-  if (stopping_)
-    throw std::logic_error("QueryService::submit: service is shut down");
   if (vg != nullptr && vg->version() < req.min_graph_version) {
     std::ostringstream os;
     os << "QueryService::submit: min_graph_version " << req.min_graph_version
@@ -192,15 +198,14 @@ std::shared_future<QueryResult> QueryService::submit_impl(
 
 std::shared_future<QueryResult> QueryService::submit(const Graph& g,
                                                      const QueryRequest& req) {
-  return submit_impl(g, nullptr, req);
+  return submit_impl(&g, nullptr, req);
 }
 
 std::shared_future<QueryResult> QueryService::submit(VersionedGraph& vg,
                                                      const QueryRequest& req) {
-  // flat() (not graph()) on purpose: submit never mutates the graph, and
-  // the service contract routes all mutation — including the compaction —
-  // through update(), which leaves vg flat.
-  return submit_impl(vg.flat(), &vg, req);
+  // The flat-CSR resolution happens inside submit_impl under mu_ — doing it
+  // here would race a concurrent update()'s apply/compact.
+  return submit_impl(nullptr, &vg, req);
 }
 
 std::shared_future<QueryResult> QueryService::submit(const Graph& g,
@@ -212,7 +217,7 @@ std::shared_future<QueryResult> QueryService::submit(const Graph& g,
   req.budget = opt.budget;
   req.tenant = std::move(opt.tenant);
   req.allow_stale = opt.allow_stale;
-  return submit_impl(g, nullptr, std::move(req));
+  return submit_impl(&g, nullptr, std::move(req));
 }
 
 QueryResult QueryService::solve(const Graph& g, const QueryRequest& req) {
@@ -256,7 +261,10 @@ std::uint64_t QueryService::update(VersionedGraph& vg,
       update_active_ = false;
       update_cv_.notify_all();
       work_cv_.notify_all();
-      throw;  // validate-before-mutate: the graph is unchanged
+      // Validation errors leave the graph unchanged; a mid-batch resource
+      // failure bumps the version and invalidates the journal, so the
+      // cached answers' older version stamps stay truthful either way.
+      throw;
     }
     registry_.shard(0).inc(CId::kGraphCompactions,
                            vg.compactions() - compactions_before);
@@ -360,7 +368,9 @@ void QueryService::finish_unrun_locked(const Entry& e, Outcome outcome) {
       r.graph_version = hit->version;
     }
   }
-  if (outcome == Outcome::kShed) registry_.shard(0).inc(CId::kQueriesShed);
+  // Counted after the stale downgrade: a shed query answered from the cache
+  // is served_stale, not shed — one outcome, one counter.
+  if (r.outcome == Outcome::kShed) registry_.shard(0).inc(CId::kQueriesShed);
   account_locked(e->req.tenant, r.outcome);
   e->promise.set_value(std::move(r));
 }

@@ -251,8 +251,9 @@ class QueryService {
   /// hot (graph, source) pair repairs incrementally, the rest re-solve).
   /// Queued queries survive an update untouched; they run against the new
   /// version. Returns the new vg.version(). Throws whatever
-  /// VersionedGraph::apply throws (the graph is unchanged then) and
-  /// std::logic_error after shutdown().
+  /// VersionedGraph::apply throws (validation errors leave the graph
+  /// unchanged; see apply()'s contract for mid-batch resource failures)
+  /// and std::logic_error after shutdown().
   std::uint64_t update(VersionedGraph& vg, const GraphDelta& batch);
 
   /// Cancels queued + running queries, waits for the fleet to drain, and
@@ -281,7 +282,10 @@ class QueryService {
   [[nodiscard]] std::unique_ptr<Solver> build_solver() const;
   QueryResult execute(Pending& q, int wid, std::unique_ptr<Solver>& solver,
                       Xoshiro256& rng, bool& quarantine);
-  std::shared_future<QueryResult> submit_impl(const Graph& g,
+  /// Exactly one of `g` / `vg` is non-null. The graph is resolved (and all
+  /// vg reads happen) under mu_: update() mutates vg with mu_ held, so any
+  /// unlocked access from the submit path would race it.
+  std::shared_future<QueryResult> submit_impl(const Graph* g,
                                               const VersionedGraph* vg,
                                               QueryRequest req);
   /// Picks the best queued entry (highest priority, FIFO within). mu_ held

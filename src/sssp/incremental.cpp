@@ -28,7 +28,10 @@ IncrementalSolver::IncrementalSolver(SsspOptions options)
 
 bool IncrementalSolver::warm_for(const VersionedGraph& vg, VertexId source) {
   if (bound_graph_ != &vg || bound_source_ != source) return false;
-  if (bound_version_ > vg.version()) return false;  // graph object was swapped
+  // Same address is not same graph: a different VersionedGraph rebuilt at a
+  // recycled heap address can line up on version and size. The
+  // process-unique uid (never reused) is the identity check.
+  if (bound_uid_ != vg.uid()) return false;
   // The warm contract needs the pool's array to still be *our* array: same
   // size, and the epoch stamp untouched since our last answer (any other
   // query through the solver bumps it).
@@ -49,7 +52,10 @@ const Graph& IncrementalSolver::in_view(const VersionedGraph& vg,
 
 const std::vector<Distance>& IncrementalSolver::solve(VersionedGraph& vg,
                                                       VertexId source) {
-  const bool same_binding = bound_graph_ == &vg && bound_source_ == source;
+  // uid, not address: the transpose cache below must also survive (only)
+  // the graph object it was built from.
+  const bool same_binding = bound_graph_ == &vg && bound_uid_ == vg.uid() &&
+                            bound_source_ == source;
   const bool warm = warm_for(vg, source);
 
   // graph() folds any staged structural overlay back into the flat CSR the
@@ -76,6 +82,7 @@ const std::vector<Distance>& IncrementalSolver::solve(VersionedGraph& vg,
   if (!repaired) full_solve(g, source);
 
   bound_graph_ = &vg;
+  bound_uid_ = vg.uid();
   bound_source_ = source;
   bound_version_ = vg.version();
   seen_compactions_ = vg.compactions();

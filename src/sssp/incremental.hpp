@@ -108,7 +108,10 @@ class IncrementalSolver {
 
   // Warm-state binding: which (graph, source, version) the pool's distance
   // array answers, plus the epoch stamp that proves nobody bumped it since.
+  // The uid — not the address — is the graph's identity: allocator reuse
+  // can reconstruct a different VersionedGraph at the same address.
   const VersionedGraph* bound_graph_ = nullptr;
+  std::uint64_t bound_uid_ = 0;
   VertexId bound_source_ = kInvalidVertex;
   std::uint64_t bound_version_ = 0;
   std::uint32_t bound_epoch_ = 0;

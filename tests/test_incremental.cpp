@@ -407,6 +407,40 @@ TEST(IncrementalWarm, CancelledRepairThrowsAndLeavesSolverReusable) {
   EXPECT_EQ(dijkstra(vg.graph(), source).dist, dist);
 }
 
+TEST(IncrementalWarm, UidIsProcessUniqueAndMoveAware) {
+  VersionedGraph a(make_shape("grid"));
+  VersionedGraph b(make_shape("grid"));
+  EXPECT_NE(a.uid(), b.uid());
+  const std::uint64_t a_uid = a.uid();
+  VersionedGraph c = std::move(a);
+  EXPECT_EQ(c.uid(), a_uid);  // identity travels with the content
+  EXPECT_NE(a.uid(), a_uid);  // the moved-from husk is re-stamped
+  EXPECT_NE(a.uid(), c.uid());
+}
+
+TEST(IncrementalWarm, GraphRebuiltAtSameAddressFallsBackToFullSolve) {
+  VersionedGraph vg(make_shape("er"));
+  IncrementalSolver inc(test_options());
+  const VertexId source = pick_source(vg);
+  (void)inc.solve(vg, source);
+
+  // Allocator-reuse ABA: a *different* graph takes over the bound object's
+  // address (move-assignment re-stamps vg in place) with the same vertex
+  // count, an untouched pool epoch, and a version no older than the bound
+  // one — everything an address + version heuristic would mistake for warm
+  // state. Only the uid tells them apart.
+  VersionedGraph other(
+      gen::erdos_renyi(1600, 6.0, WeightScheme::uniform(1, 100), 99));
+  Xoshiro256 rng(5);
+  (void)other.apply(random_batch(other, Mode::kMixed, rng, 6));
+  ASSERT_GE(other.version(), vg.version());
+  vg = std::move(other);
+
+  const std::vector<Distance>& dist = inc.solve(vg, source);
+  EXPECT_TRUE(inc.last_repair().full_solve);  // uid mismatch forces cold
+  EXPECT_EQ(dijkstra(vg.graph(), source).dist, dist);
+}
+
 // --- QueryService update gate: concurrent update-vs-query ------------------
 
 service::ServiceConfig service_config() {

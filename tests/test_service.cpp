@@ -335,6 +335,50 @@ TEST(ServiceQuery, QueueExpiryDegradesToStaleWhenAllowed) {
   EXPECT_EQ(running.get().outcome, Outcome::kServed);
 }
 
+TEST(ServiceQuery, ShedDowngradedToStaleCountsOnceAsServedStale) {
+  const Graph g = make_small_graph();
+  const VertexId source = pick_source_in_largest_component(g, 11);
+
+  BlockingObserver blocker;
+  ServiceConfig config;
+  config.solver = options_for(Algorithm::kBellmanFord);
+  config.solver.observer = &blocker;
+  config.num_solvers = 1;
+  config.queue_capacity = 1;
+  config.coalesce = false;
+  QueryService svc(config);
+
+  // Prime the stale cache, then hold the only solver mid-run.
+  const QueryResult primed = svc.solve(g, source);
+  ASSERT_EQ(primed.outcome, Outcome::kServed);
+  blocker.arm();
+  auto running = svc.submit(g, source);
+  blocker.wait_until_blocked();
+
+  QueryOptions stale_ok;
+  stale_ok.allow_stale = true;
+  auto victim = svc.submit(g, source, stale_ok);  // fills the queue
+  QueryOptions gold;
+  gold.priority = 1;
+  auto evictor = svc.submit(g, source, gold);  // sheds the victim
+
+  const QueryResult rv = victim.get();
+  EXPECT_EQ(rv.outcome, Outcome::kServedStale);
+  EXPECT_EQ(rv.dist, primed.dist);
+  blocker.release();
+  EXPECT_EQ(running.get().outcome, Outcome::kServed);
+  EXPECT_EQ(evictor.get().outcome, Outcome::kServed);
+
+  // One outcome, one counter: the shed-then-downgraded query is
+  // served_stale everywhere — tenant table and metrics must agree.
+  const service::ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.totals.shed, 0u);
+  EXPECT_EQ(stats.totals.served_stale, 1u);
+  const obs::MetricsSnapshot snap = svc.metrics();
+  EXPECT_EQ(snap.counter(obs::CounterId::kQueriesShed), 0u);
+  EXPECT_EQ(snap.counter(obs::CounterId::kQueriesServedStale), 1u);
+}
+
 TEST(ServiceQuery, WatchdogCancelsOverdueRunThenQuarantinesAndRebuilds) {
   const Graph g = make_small_graph();
   const VertexId source = pick_source_in_largest_component(g, 11);
