@@ -31,8 +31,9 @@ int main(int argc, char** argv) {
   if (!args.get_string("graphs").empty()) classes = bench::selected_classes(args);
   const auto algos = bench::figure5_algorithms();
 
-  bench::CsvWriter csv(args.get_string("csv"),
-                       "experiment,graph,impl,threads,seconds");
+  bench::CsvWriter csv(
+      args.get_string("csv"),
+      "experiment,graph,impl,threads,seconds,local_steals,remote_steals");
   std::printf("Figure 6: strong scaling (scale=%.2f, speedup vs 1-thread MQ)\n",
               args.get_double("scale"));
 
@@ -63,11 +64,16 @@ int main(int argc, char** argv) {
             args.get_flag("tune")
                 ? bench::tune_delta(w.graph, w.source, options, {}, 1, solver)
                 : bench::default_delta(algos[a], cls);
-        times[a][ti] =
-            bench::measure(w.graph, w.source, options, trials, solver)
-                .best_seconds;
+        const auto m =
+            bench::measure(w.graph, w.source, options, trials, solver);
+        times[a][ti] = m.best_seconds;
+        // Steal locality from the best trial: on one-node hosts every steal
+        // is local; on multi-node hosts the split shows how much work the
+        // NUMA-aware victim order keeps on-node (docs/NUMA.md).
         csv.row("fig06", suite::abbr(cls), algorithm_name(algos[a]),
-                thread_counts[ti], times[a][ti]);
+                thread_counts[ti], times[a][ti],
+                m.metrics.counter(obs::CounterId::kLocalSteals),
+                m.metrics.counter(obs::CounterId::kRemoteSteals));
         if (algos[a] == Algorithm::kMqDijkstra && thread_counts[ti] == 1)
           mq_base = times[a][ti];
       }

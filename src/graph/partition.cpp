@@ -1,0 +1,131 @@
+#include "graph/partition.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "support/thread_team.hpp"
+
+namespace wasp {
+
+namespace {
+
+/// Fills fragment `frag` from the global CSR: rebased offsets, adjacency
+/// slice, boundary bitmap, cut-edge count. Runs on the worker chosen for
+/// first-touch placement (or on the calling thread in serial builds).
+void fill_fragment(const Graph& g, GraphPartition::Fragment& frag) {
+  const std::vector<EdgeIndex>& offsets = g.offsets();
+  const VertexId len = frag.num_vertices();
+  const EdgeIndex edge_begin = len == 0 ? 0 : offsets[frag.begin];
+  const EdgeIndex edge_end = len == 0 ? 0 : offsets[frag.end];
+  const EdgeIndex local_edges = edge_end - edge_begin;
+
+  frag.offsets.resize(static_cast<std::size_t>(len) + 1);
+  frag.offsets[0] = 0;
+  for (VertexId v = 0; v < len; ++v) {
+    frag.offsets[static_cast<std::size_t>(v) + 1] =
+        offsets[frag.begin + v + 1] - edge_begin;
+  }
+
+  frag.adjacency.resize(static_cast<std::size_t>(local_edges));
+  const WEdge* global_edges = g.edge_data();
+  std::copy(global_edges + edge_begin, global_edges + edge_end,
+            frag.adjacency.data());
+
+  frag.boundary.assign(static_cast<std::size_t>(len), 0);
+  frag.cut_edges = 0;
+  for (VertexId v = 0; v < len; ++v) {
+    const EdgeIndex lo = frag.offsets[v];
+    const EdgeIndex hi = frag.offsets[static_cast<std::size_t>(v) + 1];
+    for (EdgeIndex e = lo; e < hi; ++e) {
+      const VertexId dst = frag.adjacency[static_cast<std::size_t>(e)].dst;
+      if (dst < frag.begin || dst >= frag.end) {
+        frag.boundary[v] = 1;
+        ++frag.cut_edges;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+GraphPartition GraphPartition::build(const Graph& g, const NumaTopology& topo,
+                                     int num_fragments, ThreadTeam* team) {
+  const VertexId n = g.num_vertices();
+  const EdgeIndex m = g.num_edges();
+
+  int want = num_fragments > 0 ? num_fragments : topo.num_nodes();
+  want = std::max(want, 1);
+  if (n > 0) want = std::min(want, static_cast<int>(std::min<VertexId>(n, 1u << 16)));
+  const int f_count = want;
+
+  GraphPartition part;
+  part.num_vertices_ = n;
+  part.starts_.resize(static_cast<std::size_t>(f_count) + 1);
+  part.starts_[0] = 0;
+  part.starts_[static_cast<std::size_t>(f_count)] = n;
+
+  // Edge-balanced contiguous split: boundary f is the first vertex whose
+  // cumulative edge count reaches m * f / F. Monotonicity of offsets makes
+  // the starts non-decreasing; vertex-count split is the m == 0 fallback.
+  const std::vector<EdgeIndex>& offsets = g.offsets();
+  for (int f = 1; f < f_count; ++f) {
+    if (m == 0 || n == 0) {
+      part.starts_[static_cast<std::size_t>(f)] = static_cast<VertexId>(
+          (static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(f)) /
+          static_cast<std::uint64_t>(f_count));
+    } else {
+      const EdgeIndex target =
+          (m * static_cast<EdgeIndex>(f)) / static_cast<EdgeIndex>(f_count);
+      const auto it = std::lower_bound(offsets.begin(), offsets.end() - 1, target);
+      part.starts_[static_cast<std::size_t>(f)] =
+          static_cast<VertexId>(it - offsets.begin());
+    }
+    // Keep starts monotone even for degenerate degree distributions (one
+    // vertex owning most edges); empty fragments are legal.
+    part.starts_[static_cast<std::size_t>(f)] =
+        std::max(part.starts_[static_cast<std::size_t>(f)],
+                 part.starts_[static_cast<std::size_t>(f) - 1]);
+  }
+
+  part.fragments_.resize(static_cast<std::size_t>(f_count));
+  const int nodes = std::max(topo.num_nodes(), 1);
+  for (int f = 0; f < f_count; ++f) {
+    Fragment& frag = part.fragments_[static_cast<std::size_t>(f)];
+    frag.index = f;
+    frag.node = f % nodes;
+    frag.begin = part.starts_[static_cast<std::size_t>(f)];
+    frag.end = part.starts_[static_cast<std::size_t>(f) + 1];
+  }
+
+  if (team != nullptr && team->size() > 1) {
+    // First-touch placement: worker (f mod p) allocates and writes fragment
+    // f's arrays, so with round-robin pinning the pages land on the node
+    // that fragment's workers run on. Workers touch disjoint fragments; the
+    // team join publishes everything to the caller.
+    ThreadTeam& t = *team;
+    const int p = t.size();
+    t.run([&](int tid) {
+      for (int f = tid; f < f_count; f += p) {
+        fill_fragment(g, part.fragments_[static_cast<std::size_t>(f)]);
+      }
+    });
+  } else {
+    for (int f = 0; f < f_count; ++f) {
+      fill_fragment(g, part.fragments_[static_cast<std::size_t>(f)]);
+    }
+  }
+
+  part.cut_edges_ = 0;
+  for (const Fragment& frag : part.fragments_) part.cut_edges_ += frag.cut_edges;
+  return part;
+}
+
+int GraphPartition::owner_of(VertexId v) const {
+  assert(v < num_vertices_);
+  // upper_bound over starts_[1..F] gives the first range start strictly
+  // greater than v; its predecessor index is the owning fragment.
+  const auto it = std::upper_bound(starts_.begin() + 1, starts_.end(), v);
+  return static_cast<int>(it - starts_.begin()) - 1;
+}
+
+}  // namespace wasp

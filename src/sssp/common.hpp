@@ -136,7 +136,15 @@ class AtomicDistances {
   }
 
   std::size_t n_;
-  std::uint32_t epoch_ = 0;
+  // Starts at 1, never 0: a freshly value-initialized atomic entry holds the
+  // all-zero word, and under epoch 0 that word would decode as a LIVE
+  // {tag 0, distance 0} — a ghost zero that beats every candidate and
+  // silently defeats relax_to(). A reader racing the constructing thread's
+  // sweep (partitioned shards are built by fragment leaders inside the
+  // parallel phase; the stale-read verify model exercises exactly this) must
+  // instead decode the zero word as a tag mismatch, i.e. kInfDist, which the
+  // monotone CAS handles harmlessly.
+  std::uint32_t epoch_ = 1;
   std::unique_ptr<verify::atomic<std::uint64_t>[]> dist_;
 };
 
@@ -225,6 +233,22 @@ struct WaspConfig {
   /// Fault-injection engine installed on every worker for this run (tests
   /// only; null = no injection). Effective only in WASP_CHAOS builds.
   chaos::Engine* chaos = nullptr;
+
+  /// Partitioned execution mode (ROADMAP item 4, docs/NUMA.md): split the
+  /// CSR into per-NUMA-node fragments, run the deque protocol inside each
+  /// fragment, and route boundary relaxations through batched remote queues
+  /// instead of CAS traffic on remote cache lines.
+  struct Partition {
+    bool enabled = false;
+    /// Fragment count; 0 = one per NUMA node of `topology` (clamped to the
+    /// thread count by the driver so every fragment has a worker).
+    int num_fragments = 0;
+    /// Records buffered per destination before a batch is published, in
+    /// [1, 256] (256 is RemoteBatch::kCapacity). Smaller = lower boundary
+    /// latency, larger = fewer cross-node lines per record.
+    std::uint32_t flush_threshold = 64;
+  };
+  Partition partition;
 };
 
 /// Dong et al. stepping knobs (Δ*-, ρ-, radius-stepping).

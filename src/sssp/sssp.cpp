@@ -126,6 +126,8 @@ SsspResult dispatch_sssp(const Graph& g, VertexId source,
     case Algorithm::kWasp: {
       WaspConfig cfg = options.wasp;
       if (cfg.chaos == nullptr) cfg.chaos = ctx.chaos;
+      if (cfg.partition.enabled)
+        return wasp_sssp_partitioned(g, source, options.delta, cfg, ctx);
       return wasp_sssp(g, source, options.delta, cfg, ctx);
     }
     case Algorithm::kObim:

@@ -81,6 +81,7 @@ struct WaspShared {
   CurrBoard curr;  ///< per-worker published levels (sssp/curr_board.hpp)
   std::vector<std::unique_ptr<ChaseLevDeque<ChunkT*>>> deques;
   VictimTiers tiers;
+  std::vector<int> node_of;  ///< worker -> NUMA node (steal-locality counters)
   BasicChunkArena<ChunkT> arena;
   /// Bumped whenever a thread enters a termination-mode steal sweep; the
   /// double-scan termination check needs it to detect work migrating behind
@@ -92,8 +93,12 @@ struct WaspShared {
              const std::vector<std::uint8_t>* leaf_, int p,
              const NumaTopology& topo, const std::vector<int>& cpu_of)
       : graph(g), dist(d), delta(delta_), config(cfg), ctx(ctx_), leaf(leaf_),
-        curr(p), deques(static_cast<std::size_t>(p)), tiers(topo, cpu_of) {
+        curr(p), deques(static_cast<std::size_t>(p)), tiers(topo, cpu_of),
+        node_of(static_cast<std::size_t>(p)) {
     for (auto& d_ : deques) d_ = std::make_unique<ChaseLevDeque<ChunkT*>>();
+    for (int t = 0; t < p; ++t)
+      node_of[static_cast<std::size_t>(t)] =
+          topo.node_of_cpu(cpu_of[static_cast<std::size_t>(t)]);
   }
 };
 
@@ -443,6 +448,7 @@ class WaspWorker {
         notify_steal(t, c != nullptr);
         if (c != nullptr) {
           my_.inc(CId::kSteals);
+          count_steal_locality(t);
           out[count++] = c;
           if (count == 64) return count;
         }
@@ -450,6 +456,16 @@ class WaspWorker {
       if (count > 0) return count;
     }
     return count;
+  }
+
+  /// Steal-locality accounting (exported by bench/fig06_scaling): a steal
+  /// is local when thief and victim workers are pinned to the same NUMA
+  /// node of the run's topology.
+  void count_steal_locality(int victim) {
+    my_.inc(s_.node_of[static_cast<std::size_t>(victim)] ==
+                    s_.node_of[static_cast<std::size_t>(tid_)]
+                ? CId::kLocalSteals
+                : CId::kRemoteSteals);
   }
 
   /// Observer + trace notification for one victim probe. The call count
@@ -477,6 +493,7 @@ class WaspWorker {
       notify_steal(t, c != nullptr);
       if (c != nullptr) {
         my_.inc(CId::kSteals);
+        count_steal_locality(t);
         out[0] = c;
         return 1;
       }
@@ -504,6 +521,7 @@ class WaspWorker {
       notify_steal(t, c != nullptr);
       if (c != nullptr) {
         my_.inc(CId::kSteals);
+        count_steal_locality(t);
         out[0] = c;
         return 1;
       }

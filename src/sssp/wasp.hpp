@@ -62,4 +62,22 @@ SsspResult wasp_sssp_seeded(const Graph& g, std::span<const VertexId> seeds,
                             Weight delta, const WaspConfig& config,
                             RunContext& ctx);
 
+/// Partitioned execution mode (ROADMAP item 4, docs/NUMA.md): the CSR is
+/// split into per-NUMA-node fragments (graph/partition.hpp), each with its
+/// own distance shard and fragment-local deque protocol; boundary
+/// relaxations cross fragments only through batched remote queues
+/// (concurrent/remote_queue.hpp), and the termination scan extends the
+/// double-scan protocol with an in-flight remote-record confirmation and
+/// a quiescence barrier: no worker exits until every worker's scan passes
+/// simultaneously (an exited worker could otherwise strand its fragment's
+/// inbound channel).
+/// Converges to the same exact-distance fixed point as wasp_sssp — the
+/// partition correctness suite pins bit-identical results. Reached through
+/// dispatch_sssp by setting options.wasp.partition.enabled; knobs beyond
+/// WaspConfig: config.partition (fragment count, flush threshold).
+/// Bidirectional relaxation is disabled inside fragments (it would read
+/// remote shards); all other §4.4 optimizations apply unchanged.
+SsspResult wasp_sssp_partitioned(const Graph& g, VertexId source, Weight delta,
+                                 const WaspConfig& config, RunContext& ctx);
+
 }  // namespace wasp

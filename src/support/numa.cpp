@@ -127,9 +127,11 @@ VictimTiers::VictimTiers(const NumaTopology& topo,
                          const std::vector<int>& cpu_of_thread) {
   const int p = static_cast<int>(cpu_of_thread.size());
   tiers_.resize(static_cast<std::size_t>(p));
+  distances_.resize(static_cast<std::size_t>(p));
   for (int t = 0; t < p; ++t) {
     const int my_node = topo.node_of_cpu(cpu_of_thread[static_cast<std::size_t>(t)]);
-    // Group other threads by distance from the thief's node.
+    // Group other threads by distance from the thief's node. The map is keyed
+    // on distance, so tiers come out nearest-first by construction.
     std::map<int, std::vector<int>> by_distance;
     for (int u = 0; u < p; ++u) {
       if (u == t) continue;
@@ -137,7 +139,19 @@ VictimTiers::VictimTiers(const NumaTopology& topo,
       by_distance[topo.distance(my_node, node)].push_back(u);
     }
     auto& my_tiers = tiers_[static_cast<std::size_t>(t)];
+    auto& my_dists = distances_[static_cast<std::size_t>(t)];
     for (auto& [dist, victims] : by_distance) {
+      // Equal-distance victims span multiple nodes when the distance matrix
+      // has ties (e.g. two sibling nodes of one socket). Raw thread-id order
+      // interleaves those nodes under round-robin pinning; grouping by
+      // (node, thread) lets a thief drain one remote node's deques before
+      // pulling another node's cache lines.
+      std::stable_sort(victims.begin(), victims.end(), [&](int a, int b) {
+        const int na = topo.node_of_cpu(cpu_of_thread[static_cast<std::size_t>(a)]);
+        const int nb = topo.node_of_cpu(cpu_of_thread[static_cast<std::size_t>(b)]);
+        if (na != nb) return na < nb;
+        return a < b;
+      });
       // Rotate by thief id so colocated thieves probe distinct victims first.
       if (!victims.empty()) {
         const std::size_t shift =
@@ -146,6 +160,7 @@ VictimTiers::VictimTiers(const NumaTopology& topo,
                     victims.begin() + static_cast<std::ptrdiff_t>(shift),
                     victims.end());
       }
+      my_dists.push_back(dist);
       my_tiers.push_back(std::move(victims));
     }
   }

@@ -73,8 +73,10 @@ class NumaTopology {
 
 /// Per-thief victim ordering: victim thread ids grouped into tiers of
 /// strictly increasing NUMA distance. Tier 0 contains same-node threads,
-/// and so on. Within a tier, victims are rotated per thief so that thieves
-/// on the same node do not all probe the same victim first.
+/// and so on. Within a tier, equal-distance victims are grouped node by
+/// node (so a thief exhausts one remote node's deques before touching the
+/// next node's cache lines) and then rotated per thief so that thieves on
+/// the same node do not all probe the same victim first.
 class VictimTiers {
  public:
   /// `cpu_of_thread[t]` is the CPU thread t runs on (see ThreadTeam::cpu_of).
@@ -85,10 +87,18 @@ class VictimTiers {
     return tiers_[static_cast<std::size_t>(thread)];
   }
 
+  /// NUMA distance of tier `tier` (an index into tiers(thread)) from the
+  /// thief's node. Strictly increasing with the tier index.
+  [[nodiscard]] int tier_distance(int thread, int tier) const {
+    return distances_[static_cast<std::size_t>(thread)]
+                     [static_cast<std::size_t>(tier)];
+  }
+
   [[nodiscard]] int num_threads() const { return static_cast<int>(tiers_.size()); }
 
  private:
   std::vector<std::vector<std::vector<int>>> tiers_;
+  std::vector<std::vector<int>> distances_;  // thread -> tier -> NUMA distance
 };
 
 }  // namespace wasp

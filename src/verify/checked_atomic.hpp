@@ -523,7 +523,10 @@ void plain_store(T& cell, T v) {
   (::wasp::verify::plain_read(static_cast<const void*>(addr)))
 #define WASP_VERIFY_WR(addr) \
   (::wasp::verify::plain_write(static_cast<const void*>(addr)))
+#define WASP_VERIFY_RETIRE(base, bytes) \
+  (::wasp::verify::plain_retire(static_cast<const void*>(base), (bytes)))
 #else
 #define WASP_VERIFY_RD(addr) ((void)0)
 #define WASP_VERIFY_WR(addr) ((void)0)
+#define WASP_VERIFY_RETIRE(base, bytes) ((void)0)
 #endif

@@ -224,6 +224,19 @@ void Session::on_plain_write(int tid, const void* addr, Site site) {
   plain_write_check_locked(tid, addr, plain_[addr], site);
 }
 
+void Session::on_plain_retire(const void* base, std::size_t bytes) {
+  std::lock_guard<std::mutex> guard(mu_);
+  const char* lo = static_cast<const char*>(base);
+  const char* hi = lo + bytes;
+  for (auto it = plain_.begin(); it != plain_.end();) {
+    const char* p = static_cast<const char*>(it->first);
+    if (p >= lo && p < hi)
+      it = plain_.erase(it);
+    else
+      ++it;
+  }
+}
+
 std::uint64_t Session::on_plain_read_value(int tid, const void* addr,
                                            Site site,
                                            std::uint64_t fresh_bits) {

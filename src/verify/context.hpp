@@ -204,6 +204,13 @@ class Session {
   // --- plain-access race checker -----------------------------------------
   void on_plain_read(int tid, const void* addr, Site site);
   void on_plain_write(int tid, const void* addr, Site site);
+  /// Drops all tracking state (race history and value model) for cells in
+  /// [base, base + bytes): the block is being returned to the allocator,
+  /// whose internal synchronization hands it to the next owner with a real
+  /// happens-before edge the model cannot otherwise see. Without this, a
+  /// recycled heap address reports a false race between the previous
+  /// owner's accesses and the next owner's first write.
+  void on_plain_retire(const void* base, std::size_t bytes);
 
   // --- plain-access value model (verify::plain_load / plain_store) -------
   /// Race-checks like on_plain_read, then returns an admissible value for
@@ -371,6 +378,19 @@ inline void plain_write(
   if (Session* s = Session::bound(tid)) {
     schedule_point(tid);
     s->on_plain_write(tid, addr, site_of(loc));
+  }
+}
+
+/// Allocator hand-off annotation (used via WASP_VERIFY_RETIRE): call
+/// immediately before operator delete on a block whose cells carry
+/// WASP_VERIFY_RD/WR annotations and whose storage may be recycled by a
+/// subsequent operator new on another thread (e.g. drained RemoteBatch
+/// blocks). See Session::on_plain_retire.
+inline void plain_retire(const void* base, std::size_t bytes) {
+  int tid;
+  if (Session* s = Session::bound(tid)) {
+    schedule_point(tid);
+    s->on_plain_retire(base, bytes);
   }
 }
 

@@ -175,6 +175,72 @@ TEST(VictimTiers, RotationVariesFirstVictim) {
   EXPECT_NE(remote0.front(), remote1.front());
 }
 
+TEST(VictimTiers, TierDistancesAreStrictlyIncreasing) {
+  const auto topo = NumaTopology::synthetic(2, 2, 2);
+  std::vector<int> cpu_of(8);
+  for (int t = 0; t < 8; ++t) cpu_of[t] = t;
+  const VictimTiers tiers(topo, cpu_of);
+  for (int t = 0; t < 8; ++t) {
+    const auto& my_tiers = tiers.tiers(t);
+    for (std::size_t k = 0; k < my_tiers.size(); ++k) {
+      if (k > 0) {
+        EXPECT_LT(tiers.tier_distance(t, static_cast<int>(k - 1)),
+                  tiers.tier_distance(t, static_cast<int>(k)));
+      }
+    }
+    // Synthetic matrix values: 10 intra-node, 12 intra-socket, 32 cross.
+    ASSERT_EQ(my_tiers.size(), 3u);
+    EXPECT_EQ(tiers.tier_distance(t, 0), 10);
+    EXPECT_EQ(tiers.tier_distance(t, 1), 12);
+    EXPECT_EQ(tiers.tier_distance(t, 2), 32);
+  }
+}
+
+TEST(VictimTiers, VictimOrderPinnedNearestFirstGroupedByNode) {
+  // Pins the full victim ordering on a 2x2x2 synthetic box: tiers walk
+  // strictly by ascending distance, and equal-distance victims come out
+  // grouped node by node (not interleaved in raw thread-id order).
+  const auto topo = NumaTopology::synthetic(2, 2, 2);  // 4 nodes, 8 cpus
+  std::vector<int> cpu_of(8);
+  for (int t = 0; t < 8; ++t) cpu_of[t] = t;
+  const VictimTiers tiers(topo, cpu_of);
+
+  // Thread 0 (node 0): rotation shift is 0 everywhere, so the order is the
+  // canonical (node, thread) sort.
+  const auto& t0 = tiers.tiers(0);
+  ASSERT_EQ(t0.size(), 3u);
+  EXPECT_EQ(t0[0], std::vector<int>({1}));
+  EXPECT_EQ(t0[1], std::vector<int>({2, 3}));
+  EXPECT_EQ(t0[2], std::vector<int>({4, 5, 6, 7}));
+
+  // Thread 5 (node 2): same grouped order, rotated by thread id per tier.
+  const auto& t5 = tiers.tiers(5);
+  ASSERT_EQ(t5.size(), 3u);
+  EXPECT_EQ(t5[0], std::vector<int>({4}));
+  EXPECT_EQ(t5[1], std::vector<int>({7, 6}));  // {6,7} rotated by 5 % 2
+  EXPECT_EQ(t5[2], std::vector<int>({1, 2, 3, 0}));  // {0,1,2,3} by 5 % 4
+
+  // Rotation aside, every tier must remain a contiguous node grouping.
+  // Walking the tier as a circle, the number of node changes equals the
+  // number of distinct nodes — interleaving would add extra changes.
+  for (int t = 0; t < 8; ++t) {
+    for (const auto& tier : tiers.tiers(t)) {
+      std::set<int> distinct;
+      std::size_t changes = 0;
+      for (std::size_t i = 0; i < tier.size(); ++i) {
+        const int node =
+            topo.node_of_cpu(cpu_of[static_cast<std::size_t>(tier[i])]);
+        const int next = topo.node_of_cpu(cpu_of[static_cast<std::size_t>(
+            tier[(i + 1) % tier.size()])]);
+        distinct.insert(node);
+        if (node != next) ++changes;
+      }
+      EXPECT_EQ(changes, distinct.size() > 1 ? distinct.size() : 0u)
+          << "tier interleaves nodes for thread " << t;
+    }
+  }
+}
+
 TEST(VictimTiers, ThreadsShareCpusWhenOversubscribed) {
   // More threads than CPUs: the mapping wraps and tiers still cover all.
   const auto topo = NumaTopology::flat(2);

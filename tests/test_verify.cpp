@@ -39,6 +39,7 @@
 #include "sssp/sssp.hpp"
 #include "sssp/validate.hpp"
 #include "support/chaos.hpp"
+#include "support/numa.hpp"
 #include "support/random.hpp"
 #include "verify/checked_atomic.hpp"
 #include "verify/context.hpp"
@@ -1575,7 +1576,8 @@ struct E2eOutcome {
 /// One seeded end-to-end schedule of the real solver. The seed fans out
 /// into the thread count (2-4), the graph, the steal policy, the session's
 /// stale-value streams, and every scheduling decision.
-E2eOutcome e2e_one_seed(Algorithm algo, std::uint64_t seed) {
+E2eOutcome e2e_one_seed(Algorithm algo, std::uint64_t seed,
+                        bool partitioned = false) {
   const int threads = 2 + static_cast<int>(seed % 3);
   const auto& cases = e2e_cases();
   const E2eCase& c = cases[static_cast<std::size_t>(seed % cases.size())];
@@ -1590,6 +1592,18 @@ E2eOutcome e2e_one_seed(Algorithm algo, std::uint64_t seed) {
   options.wasp.chunk_capacity = 16;  // small chunks: more deque traffic
   options.wasp.steal_policy = seed % 2 == 0 ? StealPolicy::kPriorityNuma
                                             : StealPolicy::kTwoChoice;
+  if (partitioned) {
+    // Partitioned engine under the serialized scheduler: a multi-node
+    // synthetic topology so fragments and remote queues actually form, and
+    // a tiny flush threshold so the publish/grab/in-flight protocol of
+    // remote_queue.hpp fires every few relaxations (its memory-order
+    // mutants must die here).
+    options.wasp.topology =
+        std::make_shared<NumaTopology>(NumaTopology::synthetic(2, 1, 2));
+    options.wasp.partition.enabled = true;
+    options.wasp.partition.num_fragments = 2 + static_cast<int>(seed % 2);
+    options.wasp.partition.flush_threshold = 1 + (seed % 4);
+  }
 
   E2eOutcome out;
   Session session(session_options(threads, seed));
@@ -1614,6 +1628,14 @@ TEST(SchedulerHarness, WaspEndToEndSchedulesMatchDijkstra) {
   const SeedRange seeds = harness_seeds(kE2eSeeds);
   for (std::uint64_t seed = seeds.first; seed < seeds.last; ++seed) {
     e2e_one_seed(Algorithm::kWasp, seed);
+    if (::testing::Test::HasFailure()) return;
+  }
+}
+
+TEST(SchedulerHarness, PartitionedWaspEndToEndSchedulesMatchDijkstra) {
+  const SeedRange seeds = harness_seeds(kE2eSeeds / 2);
+  for (std::uint64_t seed = seeds.first; seed < seeds.last; ++seed) {
+    e2e_one_seed(Algorithm::kWasp, seed, /*partitioned=*/true);
     if (::testing::Test::HasFailure()) return;
   }
 }

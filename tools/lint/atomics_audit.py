@@ -23,9 +23,10 @@ Subcommands
                                 synchronization concept — the protocol is
                                 documented where it is implemented.
               cancel-poll       every parallel worker loop in src/sssp/ (a
-                                .cpp that calls team.run or drives the engine
-                                via wasp_sssp_seeded, like the incremental
-                                repair loop) must poll the CancelToken
+                                .cpp that calls team.run, drives the engine
+                                via wasp_sssp_seeded like the incremental
+                                repair loop, or drains a remote-queue channel
+                                via grab_all) must poll the CancelToken
                                 (stop_requested / poll_cancel / poll); an
                                 unpollable algorithm wedges the service
                                 layer's deadline machinery.
@@ -95,15 +96,19 @@ MUTATE_SCOPE = [
     "src/concurrent/chase_lev_deque.hpp",
     "src/concurrent/stealing_multiqueue.hpp",
     "src/concurrent/spinlock.hpp",
+    "src/concurrent/remote_queue.hpp",
     "src/sssp/curr_board.hpp",
     "src/sssp/wasp.cpp",
+    "src/sssp/wasp_partitioned.cpp",
 ]
 
 ABBREV = {
     "chase_lev_deque.hpp": "CLD",
     "stealing_multiqueue.hpp": "SMQ",
     "spinlock.hpp": "SL",
+    "remote_queue.hpp": "RQ",
     "curr_board.hpp": "CURR",
+    "wasp_partitioned.cpp": "WSPP",
     "multiqueue.hpp": "MQH",
     "multiqueue.cpp": "MQ",
     "chunk.hpp": "CHK",
@@ -131,6 +136,8 @@ NON_ATOMIC_RECEIVERS = [
     re.compile(r"dist\s*$"),       # AtomicDistances::load(VertexId)
     re.compile(r"\.dist\s*$"),
     re.compile(r"distances\s*$"),
+    re.compile(r"dist_\s*$"),      # AtomicDistances member (partitioned worker)
+    re.compile(r"shard\s*$"),      # per-fragment AtomicDistances ref
 ]
 
 
@@ -303,10 +310,12 @@ def has_order_comment(lines, lineno):
 
 
 def is_sssp_worker(rel, text):
-    """A parallel-algorithm translation unit: launches a worker team, or
-    drives the engine over warm state (the incremental repair loop)."""
+    """A parallel-algorithm translation unit: launches a worker team, drives
+    the engine over warm state (the incremental repair loop), or drains a
+    RemoteRelayNetwork channel (the partitioned engine's inbound loop)."""
     return rel.startswith("src/sssp/") and rel.endswith(".cpp") \
-        and ("team.run(" in text or "wasp_sssp_seeded(" in text)
+        and ("team.run(" in text or "wasp_sssp_seeded(" in text
+             or "grab_all(" in text)
 
 
 def lint_file(rel, path=None, force_worker=None):
